@@ -1,0 +1,68 @@
+"""E5 — Example 4.5: answer-propagating programs (Theorem 4.3).
+
+The class combines selection-pushing and symmetric conditions: combined
+rules with shared middles *plus* a right-linear rule whose
+``bound_first`` is contained in the combined rules' ``bound``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.pipeline import optimize
+from repro.core.theorems import is_answer_propagating
+from repro.datalog.parser import parse_query
+from repro.workloads.examples import example_45_edb, example_45_program
+
+from benchmarks.conftest import scaled
+
+
+def test_e5_answer_propagating_certified_and_correct():
+    series = Series("E5: Example 4.5 (answer-propagating) — magic vs factored")
+    program = example_45_program()
+    goal = parse_query("p(5, Y)")
+    for n in (scaled(15), scaled(30), scaled(60)):
+        edb = example_45_edb(n)
+        result = optimize(program, goal, edb=edb)
+        assert result.report is not None
+        assert is_answer_propagating(result.classification, edb=edb)
+        expected = None
+        for stage in ("magic", "simplified"):
+            answers, stats = result.evaluate_stage(stage, edb)
+            if expected is None:
+                expected = answers
+            assert answers == expected
+            series.add(
+                Measurement(
+                    label=stage,
+                    n=n,
+                    facts=stats.facts,
+                    inferences=stats.inferences,
+                    seconds=stats.seconds,
+                    answers=len(answers),
+                )
+            )
+    series.show()
+
+
+def test_e5_strictly_generalizes_symmetric():
+    """Theorem 4.3 strictly generalizes Theorem 4.2: Example 4.5 has a
+    right-linear rule, so it is answer-propagating but not symmetric."""
+    from repro.core.theorems import is_symmetric
+
+    program = example_45_program()
+    goal = parse_query("p(5, Y)")
+    edb = example_45_edb(scaled(15))
+    result = optimize(program, goal, edb=edb)
+    assert is_answer_propagating(result.classification, edb=edb)
+    assert not is_symmetric(result.classification, edb=edb)
+
+
+@pytest.mark.benchmark(group="E5-answer-propagating")
+def test_e5_timing(benchmark):
+    program = example_45_program()
+    goal = parse_query("p(5, Y)")
+    edb = example_45_edb(scaled(30))
+    result = optimize(program, goal, edb=edb)
+    benchmark(lambda: result.evaluate_stage("simplified", edb))

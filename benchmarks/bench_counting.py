@@ -1,0 +1,147 @@
+"""E6 / E7 — Section 6.4: Counting vs factoring.
+
+E6 (Theorem 6.4): for right-linear-only factorable programs, the
+factored Magic program is *identical* to the Counting program with its
+index fields deleted — checked structurally and by run-time parity.
+
+E7: with a left-linear rule, Counting's magic self-loop diverges
+(detected syntactically and observed dynamically via the fact budget)
+while the factored program terminates in linear cost.  The paper also
+notes Counting *with* indices pays for index bookkeeping even when it
+terminates — visible in the with-index column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.adornment import adorn
+from repro.analysis.isomorphism import programs_isomorphic
+from repro.bench.harness import Measurement, Series
+from repro.core.factoring import free_name
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import NonTerminationError
+from repro.transforms.counting import (
+    counting,
+    counting_diverges,
+    delete_index_fields,
+    refine_counting,
+)
+from repro.transforms.magic import magic_name
+from repro.workloads.graphs import chain_edb
+
+from benchmarks.conftest import scaled
+
+RIGHT_TC = parse_program(
+    "t(X, Y) :- e(X, Z), t(Z, Y).\nt(X, Y) :- e(X, Y)."
+)
+LEFT_TC = parse_program(
+    "t(X, Y) :- t(X, Z), e(Z, Y).\nt(X, Y) :- e(X, Y)."
+)
+
+
+def test_e6_structural_identity():
+    """Theorem 6.4, structurally."""
+    goal = parse_query("t(0, Y)")
+    adorned = adorn(RIGHT_TC, goal)
+    no_index, _ = delete_index_fields(refine_counting(counting(adorned)))
+    factored = optimize(RIGHT_TC, goal, force_factor=True).simplified
+    predicate = adorned.goal.predicate
+    renaming = {
+        f"cnt_{predicate}": magic_name(predicate),
+        f"ans_{predicate}": free_name(predicate),
+    }
+    assert programs_isomorphic(no_index, factored.program, renaming)
+
+
+def test_e6_runtime_parity():
+    series = Series("E6: right-linear TC — counting (with/without indices) vs factored")
+    goal = parse_query("t(0, Y)")
+    adorned = adorn(RIGHT_TC, goal)
+    with_index = refine_counting(counting(adorned))
+    no_index, query_head = delete_index_fields(with_index)
+    factored = optimize(RIGHT_TC, goal, force_factor=True)
+    for n in (scaled(20), scaled(40), scaled(80)):
+        edb = chain_edb(n)
+        db1, stats1 = seminaive_eval(with_index.program, edb)
+        series.add(
+            Measurement(
+                label="counting+idx", n=n, facts=stats1.facts,
+                inferences=stats1.inferences, seconds=stats1.seconds,
+                answers=len(with_index.answers(db1)),
+            )
+        )
+        db2, stats2 = seminaive_eval(no_index, edb)
+        series.add(
+            Measurement(
+                label="counting-idx", n=n, facts=stats2.facts,
+                inferences=stats2.inferences, seconds=stats2.seconds,
+                answers=len(db2.query(query_head)),
+            )
+        )
+        answers3, stats3 = factored.evaluate_stage("simplified", edb)
+        series.add(
+            Measurement(
+                label="factored", n=n, facts=stats3.facts,
+                inferences=stats3.inferences, seconds=stats3.seconds,
+                answers=len(answers3),
+            )
+        )
+        assert with_index.answers(db1) == db2.query(query_head) == answers3
+        # index-free counting and factored are the same program: parity.
+        assert stats2.facts == stats3.facts
+        assert stats2.inferences == stats3.inferences
+        # indices cost extra facts (one per derivation path).
+        assert stats1.facts >= stats2.facts
+    series.note("counting-idx == factored exactly (Theorem 6.4)")
+    series.show()
+
+
+def test_e7_left_linear_divergence():
+    series = Series("E7: left-linear TC — counting diverges, factoring wins")
+    goal = parse_query("t(0, Y)")
+    adorned = adorn(LEFT_TC, goal)
+    cnt = counting(adorned)
+    assert counting_diverges(cnt)  # syntactic detection
+    budget = 20_000
+    try:
+        seminaive_eval(cnt.program, chain_edb(scaled(12)), max_facts=budget)
+        diverged = False
+    except NonTerminationError as err:
+        diverged = True
+        series.add(
+            Measurement(
+                label="counting", n=scaled(12), facts=err.facts,
+                extra={"status": "DIVERGED (budget hit)"},
+            )
+        )
+    assert diverged
+    factored = optimize(LEFT_TC, goal)
+    assert factored.report.factorable
+    answers, stats = factored.answers(chain_edb(scaled(12)))
+    series.add(
+        Measurement(
+            label="factored", n=scaled(12), facts=stats.facts,
+            inferences=stats.inferences, seconds=stats.seconds,
+            answers=len(answers), extra={"status": "terminated"},
+        )
+    )
+    series.show()
+
+
+@pytest.mark.benchmark(group="E6-counting")
+def test_e6_timing_counting_with_indices(benchmark):
+    goal = parse_query("t(0, Y)")
+    cnt = refine_counting(counting(adorn(RIGHT_TC, goal)))
+    edb = chain_edb(scaled(40))
+    benchmark(lambda: seminaive_eval(cnt.program, edb))
+
+
+@pytest.mark.benchmark(group="E6-counting")
+def test_e6_timing_factored(benchmark):
+    goal = parse_query("t(0, Y)")
+    result = optimize(RIGHT_TC, goal, force_factor=True)
+    edb = chain_edb(scaled(40))
+    benchmark(lambda: result.evaluate_stage("simplified", edb))

@@ -1,0 +1,111 @@
+"""E12 — the arity-reduction crossover sweep (Section 1's headline).
+
+"Since the size of the relation computed is bounded by n^k, ... reducing
+the arity (k) can result in an order of magnitude increase in the
+efficiency of the algorithm."  This sweep measures the factored/magic
+speedup as n grows on three graph families, exhibiting the growing gap
+(magic is Θ(n^2) facts, factored Θ(n)) — and the small-n regime where
+the two are comparable (the crossover).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series, speedup
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_query
+from repro.workloads.examples import three_rule_tc_program
+from repro.workloads.graphs import chain_edb, complete_edb, random_digraph_edb
+
+from benchmarks.conftest import scaled
+
+
+def test_e12_speedup_growth_chain():
+    series = Series("E12a: factored/magic inference ratio on chains")
+    result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+    ratios = []
+    for n in (4, scaled(16), scaled(32), scaled(64), scaled(128)):
+        _, magic_stats = result.evaluate_stage("magic", chain_edb(n))
+        _, fact_stats = result.evaluate_stage("simplified", chain_edb(n))
+        ratio = magic_stats.inferences / max(1, fact_stats.inferences)
+        ratios.append(ratio)
+        series.add(
+            Measurement(
+                label="ratio",
+                n=n,
+                facts=magic_stats.facts,
+                inferences=magic_stats.inferences,
+                extra={"speedup": f"{ratio:.1f}x"},
+            )
+        )
+    assert ratios[-1] > ratios[0]  # the gap grows with n
+    assert ratios[-1] > 10  # "order of magnitude" at modest sizes
+    series.note("speedup grows with n: the n^k bound in action")
+    series.show()
+
+
+def test_e12_small_n_regime():
+    """At tiny n the two programs are within a small constant — the
+    'never less efficient' side of the claim."""
+    result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+    _, magic_stats = result.evaluate_stage("magic", chain_edb(3))
+    _, fact_stats = result.evaluate_stage("simplified", chain_edb(3))
+    assert fact_stats.inferences <= magic_stats.inferences
+
+
+def test_e12_dense_graphs():
+    series = Series("E12b: dense (complete) graphs — worst case for magic")
+    result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+    for n in (scaled(8), scaled(12), scaled(16)):
+        edb = complete_edb(n)
+        a1, magic_stats = result.evaluate_stage("magic", edb)
+        a2, fact_stats = result.evaluate_stage("simplified", edb)
+        assert a1 == a2
+        series.add(
+            Measurement(
+                label="magic", n=n, facts=magic_stats.facts,
+                inferences=magic_stats.inferences,
+                seconds=magic_stats.seconds, answers=len(a1),
+            )
+        )
+        series.add(
+            Measurement(
+                label="factored", n=n, facts=fact_stats.facts,
+                inferences=fact_stats.inferences,
+                seconds=fact_stats.seconds, answers=len(a2),
+            )
+        )
+    series.show()
+
+
+def test_e12_sparse_random():
+    series = Series("E12c: sparse random digraphs (m = n)")
+    result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+    for n in (scaled(50), scaled(100), scaled(200)):
+        edb = random_digraph_edb(n, n, seed=9)
+        a1, magic_stats = result.evaluate_stage("magic", edb)
+        a2, fact_stats = result.evaluate_stage("simplified", edb)
+        assert a1 == a2
+        series.add(
+            Measurement(
+                label="magic", n=n, facts=magic_stats.facts,
+                inferences=magic_stats.inferences, seconds=magic_stats.seconds,
+                answers=len(a1),
+            )
+        )
+        series.add(
+            Measurement(
+                label="factored", n=n, facts=fact_stats.facts,
+                inferences=fact_stats.inferences, seconds=fact_stats.seconds,
+                answers=len(a2),
+            )
+        )
+    series.show()
+
+
+@pytest.mark.benchmark(group="E12-crossover")
+def test_e12_timing_dense_factored(benchmark):
+    result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+    edb = complete_edb(scaled(10))
+    benchmark(lambda: result.evaluate_stage("simplified", edb))

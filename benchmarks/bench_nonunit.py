@@ -1,0 +1,127 @@
+"""E16 — Section 7.3: factoring inner predicates of non-unit programs.
+
+The paper's open problem, probed empirically: when the outer program
+does not correlate a subgoal with its answers (the unary ``q(Y)``
+caller), factoring the inner right-linear ``p^bf`` is valid and cheaper;
+when it does (the binary ``q(X, Y)`` caller, or the combined ``P2``),
+the factored program produces spurious answers.  The
+``decouples_subgoals`` heuristic's verdicts are cross-checked against
+ground truth on every workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.nonunit import (
+    decouples_subgoals,
+    factor_inner,
+    inner_factoring_valid_on,
+)
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+
+from benchmarks.conftest import scaled
+
+P1 = """
+p(X, Y) :- b(X, U), p(U, Y).
+p(X, Y) :- e(X, Y).
+"""
+
+
+def edb_72(seed: int, n: int) -> Database:
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            "a": [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+            "b": [(i, i + 1) for i in range(n)]
+            + [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+            "e": [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+        }
+    )
+
+
+def test_e16_unary_caller_factoring_valid_and_cheaper():
+    series = Series("E16: inner factoring of p@bf under q(Y) :- a(X,Z), p(Z,Y)")
+    program = parse_program("q(Y) :- a(X, Z), p(Z, Y).\n" + P1)
+    goal = parse_query("q(Y)")
+    assert decouples_subgoals(program, goal, "p")
+    for n in (scaled(15), scaled(30), scaled(60)):
+        edb = edb_72(seed=2, n=n)
+        candidate = factor_inner(program, goal, "p")
+        magic_answers, magic_stats = candidate.answers_magic(edb)
+        factored_answers, factored_stats = candidate.answers_factored(edb)
+        assert magic_answers == factored_answers
+        series.add(
+            Measurement(
+                label="magic", n=n, facts=magic_stats.facts,
+                inferences=magic_stats.inferences, seconds=magic_stats.seconds,
+                answers=len(magic_answers),
+            )
+        )
+        series.add(
+            Measurement(
+                label="inner-factored", n=n, facts=factored_stats.facts,
+                inferences=factored_stats.inferences,
+                seconds=factored_stats.seconds,
+                answers=len(factored_answers),
+            )
+        )
+        assert factored_stats.facts <= magic_stats.facts
+    series.note("multiple seeds share one unary fp relation: arity reduction "
+                "survives the non-unit context")
+    series.show()
+
+
+def test_e16_correlating_caller_breaks():
+    series = Series("E16b: correlating caller q(X, Y) — factoring invalid")
+    program = parse_program("q(X, Y) :- a(X, Z), p(Z, Y).\n" + P1)
+    goal = parse_query("q(X, Y)")
+    assert not decouples_subgoals(program, goal, "p")
+    broken = 0
+    trials = 10
+    for seed in range(trials):
+        edb = edb_72(seed, n=scaled(10))
+        if not inner_factoring_valid_on(program, goal, "p", edb):
+            broken += 1
+    series.add(
+        Measurement(
+            label="invalid-EDBs", n=trials, answers=broken,
+            extra={"heuristic": "couples (correctly rejected)"},
+        )
+    )
+    assert broken > 0
+    series.show()
+
+
+def test_e16_heuristic_agrees_with_ground_truth():
+    """Where the heuristic says 'decouples', factoring must hold on all
+    sampled EDBs; this is the empirical soundness check of the E16
+    condition (the converse need not hold — it is only sufficient)."""
+    cases = [
+        ("q(Y) :- a(X, Z), p(Z, Y).", "q(Y)"),
+        ("q(Y) :- a(X, Z), p(Z, Y), g(Y).", "q(Y)"),
+    ]
+    for outer, goal_text in cases:
+        program = parse_program(outer + "\n" + P1)
+        goal = parse_query(goal_text)
+        if decouples_subgoals(program, goal, "p"):
+            for seed in range(6):
+                edb = edb_72(seed, n=scaled(8))
+                edb.add_facts("g", [(i,) for i in range(scaled(8))])
+                assert inner_factoring_valid_on(program, goal, "p", edb), (
+                    outer,
+                    seed,
+                )
+
+
+@pytest.mark.benchmark(group="E16-nonunit")
+def test_e16_timing_inner_factored(benchmark):
+    program = parse_program("q(Y) :- a(X, Z), p(Z, Y).\n" + P1)
+    goal = parse_query("q(Y)")
+    candidate = factor_inner(program, goal, "p")
+    edb = edb_72(seed=2, n=scaled(30))
+    benchmark(lambda: candidate.answers_factored(edb))

@@ -1,0 +1,112 @@
+"""E10 — Section 6.1 / Theorem 6.2: simple one-sided recursions.
+
+A simple one-sided recursion, expanded to the canonical form (1), is
+left-linear for one full selection and right-linear for the other; both
+are selection-pushing and hence factorable.  We check the A/V-graph
+recognizer, the expansion device, and measure the factored evaluation
+for both query forms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.avgraph import expand_rule, is_one_sided, is_simple_one_sided
+from repro.bench.harness import Measurement, Series
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.datalog.program import Program
+from repro.engine.database import Database
+
+from benchmarks.conftest import scaled
+from tests.conftest import oracle_answers
+
+# canonical form (1): p(A, B) :- p(A, C), c(C, D, B)
+ONE_SIDED = parse_program(
+    """
+    p(A, B) :- p(A, C), c(C, D, B).
+    p(A, B) :- exit(A, B).
+    """
+)
+
+
+def one_sided_edb(n: int) -> Database:
+    db = Database()
+    db.add_facts("c", [(i, 0, i + 1) for i in range(n)])
+    db.add_facts("exit", [(j, 0) for j in range(5)])
+    return db
+
+
+def test_e10_recognizers():
+    rule = ONE_SIDED.rules[0]
+    assert is_one_sided(rule, "p")
+    assert is_simple_one_sided(rule, "p")
+    # a weight-2 shifting recursion is not (yet) in form (1):
+    swap = parse_rule("p(A, B) :- p(B, C), c(C, A).")
+    assert not is_one_sided(swap, "p")
+
+
+def test_e10_both_full_selections_factor():
+    series = Series("E10: simple one-sided recursion, both full selections")
+    for goal_text in ("p(0, B)", "p(A, 3)"):
+        goal = parse_query(goal_text)
+        result = optimize(ONE_SIDED, goal)
+        assert result.report is not None and result.report.factorable, goal_text
+        for n in (scaled(20), scaled(40)):
+            edb = one_sided_edb(n)
+            expected = oracle_answers(ONE_SIDED, goal, edb)
+            answers, stats = result.answers(edb)
+            assert answers == expected
+            series.add(
+                Measurement(
+                    label=f"factored[{goal_text}]",
+                    n=n,
+                    facts=stats.facts,
+                    inferences=stats.inferences,
+                    seconds=stats.seconds,
+                    answers=len(answers),
+                )
+            )
+    series.show()
+
+
+def test_e10_expansion_brings_weight2_into_form():
+    """A weight-2 cycle becomes weight-1 (fixed) after one expansion —
+    the 'expanded so that it is of the form of Eq. (1)' device."""
+    from repro.analysis.separable import fixed_variables
+
+    swap = parse_rule("p(A, B) :- p(B, A), mark(A).")
+    assert fixed_variables(swap, "p") == set()
+    expanded = expand_rule(swap, "p", 1)
+    # After one self-substitution the swap composes with itself: both
+    # positions carry the head variable again (weight-1 cycles).
+    fixed = fixed_variables(expanded, "p")
+    head_vars = set(expanded.head.variables())
+    assert fixed == head_vars and len(fixed) == 2
+
+
+def test_e10_example_71_is_one_sided_and_factors():
+    from repro.workloads.examples import example_71_program
+
+    program = example_71_program()
+    assert is_one_sided(program.rules[0], "t")
+    goal = parse_query("t(5, Y, Z)")
+    result = optimize(program, goal)
+    assert result.report is not None and result.report.factorable
+    edb = Database.from_dict(
+        {
+            "b": [(i, i + 1) for i in range(scaled(15))],
+            "d": [(9,), (10,)],
+            "e": [(5, i, 9) for i in range(4)],
+        }
+    )
+    answers, _ = result.answers(edb)
+    assert answers == oracle_answers(program, goal, edb)
+
+
+@pytest.mark.benchmark(group="E10-one-sided")
+def test_e10_timing(benchmark):
+    goal = parse_query("p(0, B)")
+    result = optimize(ONE_SIDED, goal)
+    edb = one_sided_edb(scaled(40))
+    benchmark(lambda: result.answers(edb))

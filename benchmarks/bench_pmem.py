@@ -1,0 +1,115 @@
+"""E2 — Examples 1.2 / 4.6: list membership with a property filter.
+
+Paper claim: on an n-element list where every member satisfies ``p``,
+Prolog (goal-directed evaluation) materializes the O(n^2) facts
+``pmem(xi, [xj, ..., xn])``, while the factored program — with
+structure-shared lists — computes the answers in linear time.
+
+The top-down baseline is the tabled evaluator; its table-entry count is
+exactly the paper's fact count.  The factored program's inference count
+is the linear-time claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.pipeline import optimize
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.topdown import topdown_eval
+from repro.workloads.lists import pmem_edb, pmem_program, pmem_query
+
+from benchmarks.conftest import scaled
+
+
+def test_e2_scaling():
+    series = Series("E2: pmem over an n-list — tabled top-down vs factored")
+    program = pmem_program()
+    for n in (scaled(10), scaled(20), scaled(40), scaled(80)):
+        goal = pmem_query(n)
+        edb = pmem_edb(n)  # all members satisfy p: the paper's worst case
+
+        td = topdown_eval(program, edb, goal)
+        series.add(
+            Measurement(
+                label="topdown(Prolog)",
+                n=n,
+                facts=td.table_entries,
+                inferences=td.resolution_steps,
+                seconds=td.seconds,
+                answers=len(td.answers),
+            )
+        )
+        # Paper: O(n^2) facts — exactly n(n+1)/2 table entries here.
+        assert td.table_entries == n * (n + 1) // 2
+
+        result = optimize(program, goal)
+        assert result.report.factorable
+        answers, stats = result.answers(edb)
+        series.add(
+            Measurement(
+                label="factored",
+                n=n,
+                facts=stats.facts,
+                inferences=stats.inferences,
+                iterations=stats.iterations,
+                seconds=stats.seconds,
+                answers=len(answers),
+            )
+        )
+        assert answers == td.answers
+        # Paper: linear time — facts are (n+1) goals + n answers + n query.
+        assert stats.facts <= 3 * n + 2
+    series.note("top-down table entries = n(n+1)/2; factored facts <= 3n+2")
+    series.show()
+
+
+def test_e2_selectivity():
+    """Only some members satisfy p: answers shrink, costs stay shaped."""
+    series = Series("E2b: pmem with 25% selectivity")
+    program = pmem_program()
+    for n in (scaled(20), scaled(40)):
+        goal = pmem_query(n)
+        edb = pmem_edb(n, satisfying=range(0, n, 4))
+        result = optimize(program, goal)
+        answers, stats = result.answers(edb)
+        series.add(
+            Measurement(
+                label="factored",
+                n=n,
+                facts=stats.facts,
+                inferences=stats.inferences,
+                seconds=stats.seconds,
+                answers=len(answers),
+            )
+        )
+        assert len(answers) == len(range(0, n, 4))
+    series.show()
+
+
+def test_e2_paper_program_shape():
+    """Example 4.6's final program, exactly."""
+    result = optimize(pmem_program(), pmem_query(3))
+    rules = {str(r) for r in result.simplified.program}
+    assert rules == {
+        "m_pmem@fb([0, 1, 2]).",
+        "m_pmem@fb(T) :- m_pmem@fb([H | T]).",
+        "f_pmem@fb(X) :- m_pmem@fb([X | T]), p(X).",
+        "query(X) :- f_pmem@fb(X).",
+    }
+
+
+@pytest.mark.benchmark(group="E2-pmem")
+def test_e2_timing_topdown(benchmark):
+    n = scaled(30)
+    program, edb, goal = pmem_program(), pmem_edb(n), pmem_query(n)
+    benchmark(lambda: topdown_eval(program, edb, goal))
+
+
+@pytest.mark.benchmark(group="E2-pmem")
+def test_e2_timing_factored(benchmark):
+    n = scaled(30)
+    program, edb, goal = pmem_program(), pmem_edb(n), pmem_query(n)
+    result = optimize(program, goal)
+    benchmark(lambda: seminaive_eval(result.best_program(), edb))

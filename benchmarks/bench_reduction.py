@@ -1,0 +1,122 @@
+"""E13 — Examples 5.1 / 5.2: static-argument reduction (Lemmas 5.1/5.2).
+
+Both example programs fall outside the Section 4 classes as written;
+reducing their static first argument produces classifiable — and
+factorable — programs.  The bench verifies the reductions, the
+resulting certificates, answer preservation, and the cost of the
+reduced+factored program versus plain Magic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_query
+from repro.engine.database import Database
+from repro.workloads.examples import example_51_program, example_52_program
+
+from benchmarks.conftest import scaled
+from tests.conftest import oracle_answers
+
+
+def edb_51(n: int, seed: int = 0) -> Database:
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            "a": [(5,)],
+            "d": [(rng.randrange(n), rng.randrange(n)) for _ in range(3 * n)],
+            "exit": [(5, rng.randrange(n), rng.randrange(n)) for _ in range(n)]
+            + [(5, 6, 0)],
+        }
+    )
+
+
+def edb_52(n: int, seed: int = 1) -> Database:
+    rng = random.Random(seed)
+    return Database.from_dict(
+        {
+            "d": [(rng.randrange(n), 5, rng.randrange(n)) for _ in range(3 * n)],
+            "exit": [(5, 6, rng.randrange(n)) for _ in range(n // 2 + 1)],
+        }
+    )
+
+
+def test_e13_example_51():
+    series = Series("E13a: Example 5.1 — reduce static arg, then factor")
+    program = example_51_program()
+    goal = parse_query("p(5, 6, U)")
+    result = optimize(program, goal)
+    assert result.reduction is not None
+    assert result.reduction.removed_positions == (0,)
+    assert result.report is not None and result.report.factorable
+    for n in (scaled(10), scaled(20), scaled(40)):
+        edb = edb_51(n)
+        expected = oracle_answers(program, goal, edb)
+        answers, stats = result.answers(edb)
+        assert answers == expected
+        series.add(
+            Measurement(
+                label="reduced+factored", n=n, facts=stats.facts,
+                inferences=stats.inferences, seconds=stats.seconds,
+                answers=len(answers),
+            )
+        )
+        # baseline: magic on the unreduced program
+        unreduced = optimize(program, goal, try_reduction=False)
+        assert unreduced.factored is None  # not classifiable as written
+        m_answers, m_stats = unreduced.evaluate_stage("magic", edb)
+        assert m_answers == expected
+        series.add(
+            Measurement(
+                label="magic(unreduced)", n=n, facts=m_stats.facts,
+                inferences=m_stats.inferences, seconds=m_stats.seconds,
+                answers=len(m_answers),
+            )
+        )
+    series.show()
+
+
+def test_e13_example_52_pseudo_left_linear():
+    series = Series("E13b: Example 5.2 — pseudo-left-linear reduction")
+    program = example_52_program()
+    goal = parse_query("p(5, 6, U)")
+    result = optimize(program, goal)
+    assert result.reduction is not None
+    assert result.report is not None and result.report.factorable
+    # Lemma 5.2: after reduction the recursive rule is left-linear.
+    from repro.analysis.classify import RuleClass
+
+    classes = {rc.rule_class for rc in result.classification.recursive_rules}
+    assert classes == {RuleClass.LEFT_LINEAR}
+    for n in (scaled(10), scaled(20)):
+        edb = edb_52(n)
+        expected = oracle_answers(program, goal, edb)
+        answers, stats = result.answers(edb)
+        assert answers == expected
+        series.add(
+            Measurement(
+                label="reduced+factored", n=n, facts=stats.facts,
+                inferences=stats.inferences, seconds=stats.seconds,
+                answers=len(answers),
+            )
+        )
+    series.show()
+
+
+def test_e13_reduced_program_matches_paper_shape():
+    """Example 5.1's reduced program: s@bf(Y,Z) with a(5) in the body."""
+    result = optimize(example_51_program(), parse_query("p(5, 6, U)"))
+    text = str(result.reduction.program)
+    assert "a(5)" in text
+    assert result.reduction.adornment == "bf"
+
+
+@pytest.mark.benchmark(group="E13-reduction")
+def test_e13_timing(benchmark):
+    result = optimize(example_51_program(), parse_query("p(5, 6, U)"))
+    edb = edb_51(scaled(20))
+    benchmark(lambda: result.answers(edb))

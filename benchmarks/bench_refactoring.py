@@ -1,0 +1,147 @@
+"""E14 — Example 7.1: factoring the factored output again (future work).
+
+The factored/simplified Magic program for
+``t(X,Y,Z) :- t(X,U,W), b(U,Y), d(Z)`` with query ``t(5,Y,Z)`` defines
+a binary ``ft(Y, Z)`` whose arguments are *independently* constrained —
+"this program can also be factored with respect to the predicate ft,
+although we cannot establish this using the results presented in this
+paper."  We apply the raw factoring transformation (Proposition 3.1,
+with the recombination rule) to ``ft`` and verify empirically that the
+answers are preserved while the relation sizes drop from |Y|·|Z| to
+|Y|+|Z|.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.factoring import free_name
+from repro.core.pipeline import optimize
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_query
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.engine.database import Database
+from repro.engine.seminaive import seminaive_eval
+from repro.workloads.examples import example_71_program
+
+from benchmarks.conftest import scaled
+from tests.conftest import oracle_answers
+
+
+def edb_71(n: int) -> Database:
+    """An EDB on which the Example 7.1 re-factoring is exact.
+
+    Reproduction finding (recorded in EXPERIMENTS.md): the paper's
+    Section 7.1 claim is not EDB-independent.  The original ``ft`` is
+    {base row} ∪ (reachable-Y × d); the re-factored ``ft1 × ft2`` also
+    pairs the base row's Y with every other ``d`` value.  The two agree
+    when the base Y is itself recursively reachable (here: ``b`` is a
+    cycle) and the base Z lies in ``d`` — that EDB family is used here.
+    """
+    db = Database()
+    db.add_facts("b", [(i, (i + 1) % n) for i in range(n)])
+    db.add_facts("d", [(200 + i,) for i in range(n)])
+    db.add_facts("e", [(5, 0, 200)])
+    return db
+
+
+def refactor_ft(program, ft: str):
+    """Section 3's P' for ft: projections plus the recombination rule."""
+    y, z = Variable("Y"), Variable("Z")
+    ft_lit = Literal(ft, (y, z))
+    ft1 = Literal(f"{ft}:1", (y,))
+    ft2 = Literal(f"{ft}:2", (z,))
+    return program.add_rules(
+        [
+            Rule(ft1, (ft_lit,)),
+            Rule(ft2, (ft_lit,)),
+            Rule(ft_lit, (ft1, ft2)),
+        ]
+    )
+
+
+def test_e14_refactoring_preserves_answers():
+    series = Series("E14: Example 7.1 — re-factoring ft(Y, Z)")
+    program = example_71_program()
+    goal = parse_query("t(5, Y, Z)")
+    result = optimize(program, goal)
+    assert result.report is not None and result.report.factorable
+    ft = free_name(result.magic.goal.predicate)
+    refactored = refactor_ft(result.simplified.program, ft)
+    for n in (scaled(6), scaled(10), scaled(14)):
+        edb = edb_71(n)
+        expected = oracle_answers(program, goal, edb)
+        base_db, base_stats = seminaive_eval(result.simplified.program, edb)
+        refa_db, refa_stats = seminaive_eval(refactored, edb)
+        assert base_db.query(result.magic.query_head) == expected
+        assert refa_db.query(result.magic.query_head) == expected
+        series.add(
+            Measurement(
+                label="factored-once", n=n, facts=base_stats.facts,
+                inferences=base_stats.inferences, seconds=base_stats.seconds,
+                answers=len(expected),
+                extra={"ft_size": len(base_db.facts(ft))},
+            )
+        )
+        series.add(
+            Measurement(
+                label="re-factored", n=n, facts=refa_stats.facts,
+                inferences=refa_stats.inferences, seconds=refa_stats.seconds,
+                answers=len(expected),
+                extra={"ft_size": len(refa_db.facts(f"{ft}:1"))
+                       + len(refa_db.facts(f"{ft}:2"))},
+            )
+        )
+        # the unary projections are smaller than the binary relation
+        assert (
+            len(refa_db.facts(f"{ft}:1")) + len(refa_db.facts(f"{ft}:2"))
+            <= len(base_db.facts(ft)) + 2
+        )
+    series.note("ft(Y,Z) is a cross product; ft1 + ft2 store it in linear space")
+    series.show()
+
+
+def test_e14_ft_relation_is_cross_product():
+    """The premise: in this program ft(Y, Z) = ft1(Y) × ft2(Z)."""
+    program = example_71_program()
+    goal = parse_query("t(5, Y, Z)")
+    result = optimize(program, goal)
+    ft = free_name(result.magic.goal.predicate)
+    db, _ = seminaive_eval(result.simplified.program, edb_71(8))
+    facts = db.facts(ft)
+    ys = {f[0] for f in facts}
+    zs = {f[1] for f in facts}
+    assert facts == {(y, z) for y in ys for z in zs}
+
+
+def test_e14_caveat_acyclic_edb():
+    """Reproduction finding: on an acyclic ``b`` the re-factoring is
+    *not* answer-preserving — the Section 7.1 claim needs EDB-level
+    conditions the paper leaves implicit (it is future-work prose)."""
+    program = example_71_program()
+    goal = parse_query("t(5, Y, Z)")
+    result = optimize(program, goal)
+    ft = free_name(result.magic.goal.predicate)
+    refactored = refactor_ft(result.simplified.program, ft)
+    acyclic = Database()
+    acyclic.add_facts("b", [(i, i + 1) for i in range(6)])
+    acyclic.add_facts("d", [(200 + i,) for i in range(6)])
+    acyclic.add_facts("e", [(5, 0, 200)])
+    base_db, _ = seminaive_eval(result.simplified.program, acyclic)
+    refa_db, _ = seminaive_eval(refactored, acyclic)
+    base = base_db.query(result.magic.query_head)
+    refa = refa_db.query(result.magic.query_head)
+    assert base < refa  # spurious (base-Y, other-Z) pairings appear
+
+
+@pytest.mark.benchmark(group="E14-refactoring")
+def test_e14_timing(benchmark):
+    program = example_71_program()
+    goal = parse_query("t(5, Y, Z)")
+    result = optimize(program, goal)
+    ft = free_name(result.magic.goal.predicate)
+    refactored = refactor_ft(result.simplified.program, ft)
+    edb = edb_71(scaled(10))
+    benchmark(lambda: seminaive_eval(refactored, edb))

@@ -1,0 +1,77 @@
+"""E8 — the same-generation negative control (Section 6.4's remark).
+
+"The well-known same-generation program is the canonical example of a
+program that cannot be factored, and in which the index fields
+introduced in Counting are necessary."  The classifier must reject it
+(its recursive occurrence shifts both argument positions), Magic must
+still answer correctly, and forcing the bound/free factoring must
+produce wrong answers — demonstrating the rejection is not spurious.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_query
+from repro.engine.seminaive import seminaive_eval
+from repro.workloads.examples import (
+    same_generation_edb,
+    same_generation_program,
+    same_generation_query_node,
+)
+
+from benchmarks.conftest import scaled
+from tests.conftest import oracle_answers
+
+
+def test_e8_not_factorable_magic_works():
+    series = Series("E8: same-generation — magic correct, factoring rejected")
+    program = same_generation_program()
+    depth = max(3, min(7, 3 + int(scaled(2))))
+    for d in range(3, depth + 1):
+        node = same_generation_query_node(d, 2)
+        goal = parse_query(f"sg({node}, Y)")
+        edb = same_generation_edb(d, 2)
+        result = optimize(program, goal)
+        assert not result.classification.ok
+        assert result.factored is None
+        answers, stats = result.answers(edb)
+        assert answers == oracle_answers(program, goal, edb)
+        series.add(
+            Measurement(
+                label="magic",
+                n=2 ** d,
+                facts=stats.facts,
+                inferences=stats.inferences,
+                seconds=stats.seconds,
+                answers=len(answers),
+            )
+        )
+    series.note("classifier reason: shifting recursive occurrence")
+    series.show()
+
+
+def test_e8_forced_factoring_is_wrong():
+    """Forcing bp/fp factoring on same-generation breaks the answers:
+    the rejection by the classifier is semantically necessary."""
+    program = same_generation_program()
+    node = same_generation_query_node(3, 2)
+    goal = parse_query(f"sg({node}, Y)")
+    edb = same_generation_edb(3, 2)
+    result = optimize(program, goal, force_factor=True, simplify=False)
+    magic_answers, _ = result.evaluate_stage("magic", edb)
+    factored_answers, _ = result.evaluate_stage("factored", edb)
+    assert magic_answers != factored_answers
+    assert magic_answers < factored_answers  # spurious answers appear
+
+
+@pytest.mark.benchmark(group="E8-same-generation")
+def test_e8_timing_magic(benchmark):
+    program = same_generation_program()
+    node = same_generation_query_node(5, 2)
+    goal = parse_query(f"sg({node}, Y)")
+    edb = same_generation_edb(5, 2)
+    result = optimize(program, goal)
+    benchmark(lambda: result.answers(edb))

@@ -1,0 +1,94 @@
+"""E3 — Example 4.3: selection-pushing programs, instance-certified.
+
+The Example 4.3 program's conditions relate *distinct* EDB predicates
+(``free_exit ⊆ r1``, ``bound_first ⊆ l1``), so they cannot hold
+syntactically; the paper's closing discussion proposes checking them at
+run time against the query's EDB.  This bench (a) certifies and runs
+the program on a satisfying EDB, (b) reproduces the two counterexample
+EDBs from the text, where forced factoring produces exactly the
+spurious answers the paper derives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_query
+from repro.workloads.examples import (
+    example_43_edb,
+    example_43_program,
+    example_43_violating_edbs,
+)
+
+from benchmarks.conftest import scaled
+from tests.conftest import answer_values
+
+
+def test_e3_instance_certified_run():
+    series = Series("E3: Example 4.3 — instance-certified factoring")
+    program = example_43_program()
+    goal = parse_query("p(5, Y)")
+    for n in (scaled(20), scaled(40), scaled(80)):
+        edb = example_43_edb(n)
+        result = optimize(program, goal, edb=edb)
+        assert result.report is not None and result.report.factorable
+        for stage in ("magic", "simplified"):
+            answers, stats = result.evaluate_stage(stage, edb)
+            series.add(
+                Measurement(
+                    label=stage,
+                    n=n,
+                    facts=stats.facts,
+                    inferences=stats.inferences,
+                    seconds=stats.seconds,
+                    answers=len(answers),
+                )
+            )
+        magic_answers, _ = result.evaluate_stage("magic", edb)
+        simplified_answers, _ = result.evaluate_stage("simplified", edb)
+        assert magic_answers == simplified_answers
+    series.show()
+
+
+def test_e3_counterexamples_reproduce_paper():
+    """The two EDBs from the text make forced factoring unsound."""
+    series = Series("E3b: Example 4.3 violated-condition EDBs")
+    program = example_43_program()
+    for name, (edb, goal) in example_43_violating_edbs().items():
+        result = optimize(program, goal, force_factor=True, simplify=False)
+        magic_answers, _ = result.evaluate_stage("magic", edb)
+        factored_answers, _ = result.evaluate_stage("factored", edb)
+        series.add(
+            Measurement(
+                label=f"magic[{name}]", n=0, answers=len(magic_answers)
+            )
+        )
+        series.add(
+            Measurement(
+                label=f"factored[{name}]", n=0, answers=len(factored_answers)
+            )
+        )
+        assert magic_answers < factored_answers
+        # The paper's specific spurious answers:
+        if name == "bound_first":
+            assert (8,) in answer_values(factored_answers)
+            assert (8,) not in answer_values(magic_answers)
+        if name == "free_exit":
+            assert (7,) in answer_values(factored_answers)
+            assert (7,) not in answer_values(magic_answers)
+        # ... and the run-time check rejects these EDBs:
+        checked = optimize(program, goal, edb=edb)
+        assert checked.factored is None
+    series.note("factored answer sets strictly exceed magic: unsound, as in the text")
+    series.show()
+
+
+@pytest.mark.benchmark(group="E3-selection-pushing")
+def test_e3_timing_simplified(benchmark):
+    program = example_43_program()
+    goal = parse_query("p(5, Y)")
+    edb = example_43_edb(scaled(40))
+    result = optimize(program, goal, edb=edb)
+    benchmark(lambda: result.evaluate_stage("simplified", edb))

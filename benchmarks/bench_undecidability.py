@@ -1,0 +1,88 @@
+"""E11 — Theorem 3.1: the undecidability reduction, demonstrated.
+
+Factorability of the gadget's ``t`` into ``t1(X) / t2(Y, Z)`` encodes
+``q1 ≡ q2``; since Datalog equivalence is undecidable, so is
+factorability.  The bench exercises the gadget over a family of
+(q1, q2) pairs and EDBs and tabulates when each candidate factoring
+preserves answers — including the proof's own counterexample EDB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Measurement, Series
+from repro.core.undecidability import (
+    answers,
+    containment_gadget,
+    factoring_is_valid_on,
+    proof_counterexample_edb,
+)
+from repro.datalog.parser import parse_program
+from repro.engine.database import Database
+
+from benchmarks.conftest import scaled
+
+
+def test_e11_gadget_table():
+    series = Series("E11: Theorem 3.1 gadget — factoring validity vs q1 ≡ q2")
+    gadget = containment_gadget()
+    cases = {
+        "q1==q2": Database.from_dict(
+            {"a1": [(1,)], "a2": [(2,)], "q1": [(3, 4)], "q2": [(3, 4)]}
+        ),
+        "q1!=q2": Database.from_dict(
+            {"a1": [(1,)], "a2": [(2,)], "q1": [(3, 4)], "q2": [(5, 6)]}
+        ),
+        "proof-EDB": proof_counterexample_edb(),
+    }
+    expected_valid = {"q1==q2": True, "q1!=q2": False, "proof-EDB": True}
+    for name, edb in cases.items():
+        valid = factoring_is_valid_on(gadget, "1|23", edb)
+        series.add(
+            Measurement(
+                label=f"1|23 on {name}",
+                n=edb.total_facts(),
+                answers=len(answers(gadget.original, gadget.goal, edb)),
+                extra={"valid": valid},
+            )
+        )
+        assert valid == expected_valid[name], name
+    # the 12|3 split fails on the proof EDB, as in the text.
+    assert not factoring_is_valid_on(gadget, "12|3", proof_counterexample_edb())
+    series.note("validity of the 1|23 factoring tracks q1 ≡ q2 exactly")
+    series.show()
+
+
+def test_e11_recursive_queries():
+    """q1/q2 as recursive Datalog: equivalence still tracks validity."""
+    series = Series("E11b: gadget with recursive q1/q2")
+    tc_left = parse_program("q1(X, Y) :- e(X, Y).\nq1(X, Y) :- q1(X, W), e(W, Y).")
+    tc_right = parse_program("q2(X, Y) :- e(X, Y).\nq2(X, Y) :- e(X, W), q2(W, Y).")
+    one_step = parse_program("q2(X, Y) :- e(X, Y).")
+    n = scaled(10)
+    edb = Database.from_dict(
+        {
+            "a1": [(1,)],
+            "a2": [(2,)],
+            "e": [(i, i + 1) for i in range(n)],
+        }
+    )
+    for label, q2, expected in (
+        ("equivalent TCs", tc_right, True),
+        ("TC vs 1-step", one_step, False),
+    ):
+        gadget = containment_gadget(tc_left, q2)
+        valid = factoring_is_valid_on(gadget, "1|23", edb)
+        series.add(
+            Measurement(label=label, n=n, extra={"valid": valid})
+        )
+        assert valid == expected
+    series.show()
+
+
+@pytest.mark.benchmark(group="E11-gadget")
+def test_e11_timing(benchmark):
+    gadget = containment_gadget()
+    edb = proof_counterexample_edb()
+    benchmark(lambda: factoring_is_valid_on(gadget, "1|23", edb))

@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints a paper-style table (via
+:mod:`repro.bench.harness`) *and* registers a pytest-benchmark timing
+for its headline configuration.  Input sizes scale with the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import bench_scale
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    return max(minimum, int(n * bench_scale()))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Example 1.2 / 4.6: filtered list membership with function symbols.
+
+The scenario the paper motivates: compute every member of a given list
+satisfying a predicate ``p``.  A Prolog-style (tabled top-down)
+evaluation materializes the O(n^2) suffix facts; the factored Magic
+program walks the list once, in linear time, thanks to structure-shared
+list terms.
+
+Usage:  python examples/list_membership.py [n]
+"""
+
+import sys
+
+from repro import optimize, seminaive_eval, topdown_eval
+from repro.workloads.lists import pmem_edb, pmem_program, pmem_query
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    program = pmem_program()
+    goal = pmem_query(n)
+    edb = pmem_edb(n)  # every member satisfies p: the worst case
+
+    print("=== program (Example 1.2) ===")
+    print(program)
+    print(f"\nquery: pmem(X, [0, 1, ..., {n - 1}])?")
+
+    print("\n--- Prolog-style tabled top-down evaluation ---")
+    td = topdown_eval(program, edb, goal)
+    print(f"answers:        {len(td.answers)}")
+    print(f"subgoals:       {td.subgoals}")
+    print(f"table entries:  {td.table_entries}   (= n(n+1)/2 = {n * (n + 1) // 2})")
+    print(f"time:           {td.seconds * 1000:.1f} ms")
+
+    print("\n--- Magic Sets + factoring ---")
+    result = optimize(program, goal)
+    print(f"certified: {result.report.certified_by}")
+    print("\nfactored + simplified program (Example 4.6's final form):")
+    print(result.simplified.program)
+
+    answers, stats = result.answers(edb)
+    print(f"\nanswers:     {len(answers)}")
+    print(f"facts:       {stats.facts}   (linear: goals + answers)")
+    print(f"inferences:  {stats.inferences}")
+    print(f"time:        {stats.seconds * 1000:.1f} ms")
+
+    assert answers == td.answers
+    print(
+        f"\nSame answers; table entries {td.table_entries} vs facts "
+        f"{stats.facts} — the O(n^2) -> O(n) reduction of Example 4.6."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Program inspector: classify and optimize any program + query.
+
+A small CLI over the analysis toolkit.  Given a Datalog file (or one of
+the built-in paper examples) and a query, it reports:
+
+* the adorned program and rule classification (Definitions 4.1-4.3),
+* one-sidedness (Theorem 6.1) and separability (Definition 6.4) of the
+  recursion,
+* which factorability theorem (if any) certifies the Magic program,
+* the final optimized program, with the simplification trace.
+
+Usage:
+    python examples/program_inspector.py <program.dl> "<query>"
+    python examples/program_inspector.py --example tc "t(5, Y)"
+    python examples/program_inspector.py --example sg "sg(1, Y)"
+"""
+
+import sys
+
+from repro import optimize, parse_program, parse_query
+from repro.analysis.avgraph import is_one_sided, is_simple_one_sided
+from repro.analysis.dependency import DependencyGraph
+from repro.analysis.separable import analyze_separability
+
+EXAMPLES = {
+    "tc": "three_rule_tc_program",
+    "43": "example_43_program",
+    "44": "example_44_program",
+    "45": "example_45_program",
+    "51": "example_51_program",
+    "52": "example_52_program",
+    "71": "example_71_program",
+    "sg": "same_generation_program",
+}
+
+
+def load_program(args):
+    if args[0] == "--example":
+        import repro.workloads.examples as ex
+
+        return getattr(ex, EXAMPLES[args[1]])(), args[2]
+    with open(args[0]) as handle:
+        return parse_program(handle.read()), args[1]
+
+
+def main() -> None:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        sys.exit(1)
+    program, query_text = load_program(sys.argv[1:])
+    goal = parse_query(query_text)
+
+    print("=== program ===")
+    print(program)
+    print(f"\nquery: {goal}?")
+
+    graph = DependencyGraph(program)
+    recursive = sorted(
+        sig for sig in graph.recursive_signatures() if program.is_idb(sig)
+    )
+    print(f"recursive predicates: {recursive or '(none)'}")
+
+    for name, arity in recursive:
+        rules = [r for r in program.rules_for(name) if r.body_literals(name)]
+        linear = [r for r in rules if len(r.body_literals(name)) == 1]
+        if len(linear) == len(rules):
+            sided = all(is_one_sided(r, name) for r in rules)
+            simple = all(is_simple_one_sided(r, name) for r in rules)
+            print(f"one-sided ({name}): {sided} (simple: {simple})")
+            report = analyze_separability(program, name)
+            print(
+                f"separable ({name}): {report.separable} "
+                f"(reducible: {report.reducible})"
+            )
+            for reason in report.reasons[:3]:
+                print(f"    - {reason}")
+
+    result = optimize(program, goal)
+
+    if result.classification is not None:
+        print("\n=== classification (standard form) ===")
+        for rc in result.classification.rules:
+            line = f"  {rc.rule_class.value:14s}  {rc.rule}"
+            if rc.reason:
+                line += f"   [{rc.reason}]"
+            print(line)
+
+    if result.reduction is not None:
+        print(
+            f"\nstatic-argument reduction applied: removed positions "
+            f"{list(result.reduction.removed_positions)}"
+        )
+
+    print("\n=== factorability ===")
+    if result.report is None:
+        if result.classification is not None and not result.classification.ok:
+            print(
+                "not factorable — classification failed: "
+                f"{result.classification.reason}; using Magic Sets"
+            )
+        else:
+            print("not applicable (no unit recursion); using Magic Sets")
+    elif result.report.factorable:
+        print(f"FACTORABLE — {result.report.certified_by}")
+    else:
+        print("not factorable; reasons:")
+        for reason in result.report.reasons[:5]:
+            print(f"  - {reason}")
+
+    print("\n=== optimized program ===")
+    print(result.best_program())
+
+    if result.trace is not None and result.trace.steps:
+        print("\n=== simplification trace ===")
+        for step in result.trace.steps:
+            print(f"  {step}")
+
+
+if __name__ == "__main__":
+    main()

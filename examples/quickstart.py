@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's headline example, end to end.
+
+Runs the three-rule transitive closure (Example 1.1) through the full
+pipeline — adornment, Magic Sets, factorability analysis, factoring,
+Section 5 simplification — prints every intermediate program, and
+compares evaluation costs on a chain graph.
+
+Usage:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import (
+    chain_edb,
+    optimize,
+    parse_query,
+    three_rule_tc_program,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    program = three_rule_tc_program()
+    goal = parse_query("t(0, Y)")
+
+    print("=== original program (Example 1.1) ===")
+    print(program)
+
+    result = optimize(program, goal)
+
+    print("\n=== adorned program ===")
+    print(result.adorned.program)
+
+    print("\n=== Magic Sets program (Fig. 1) ===")
+    print(result.magic.program)
+
+    print("\n=== classification ===")
+    for rc in result.classification.rules:
+        print(f"  {rc.rule_class.value:14s}  {rc.rule}")
+    print(f"certified: {result.report.certified_by}")
+
+    print("\n=== factored program (Fig. 2) ===")
+    print(result.factored.program)
+
+    print("\n=== simplified program (the paper's 4-rule unary program) ===")
+    print(result.simplified.program)
+
+    print(f"\n=== evaluation on a {n}-node chain ===")
+    edb = chain_edb(n)
+    for stage in ("magic", "simplified"):
+        answers, stats = result.evaluate_stage(stage, edb)
+        print(
+            f"{stage:10s}: {len(answers):5d} answers | {stats.facts:8d} facts | "
+            f"{stats.inferences:9d} inferences | {stats.seconds * 1000:8.1f} ms"
+        )
+    print(
+        "\nThe Magic program materializes the binary t@bf relation "
+        "(~n^2/2 facts); the factored program is unary (~3n facts) — "
+        "the paper's arity-reduction payoff."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Program isomorphism up to predicate and variable renaming.
+
+Theorem 6.4 states that, for factorable programs without left-linear
+literals, the factored Magic program (after deleting trivially
+redundant rules) is *identical* to the Counting program with all index
+fields deleted, up to predicate names.  This module decides that
+identity: two programs are isomorphic when there is a bijection between
+their rule lists such that paired rules are equal up to a consistent
+variable renaming (per rule) and the given predicate renaming, with
+bodies compared as multisets (literal order is immaterial).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Compound, Term, Variable
+
+
+def _rename_predicates(literal: Literal, renaming: Dict[str, str]) -> Literal:
+    return Literal(renaming.get(literal.predicate, literal.predicate), literal.args)
+
+
+def _terms_match(
+    a: Term, b: Term, mapping: Dict[Variable, Variable], used: set
+) -> bool:
+    """Extend a variable bijection so that ``a`` maps onto ``b``."""
+    if isinstance(a, Variable):
+        if not isinstance(b, Variable):
+            return False
+        bound = mapping.get(a)
+        if bound is not None:
+            return bound == b
+        if b in used:
+            return False
+        mapping[a] = b
+        used.add(b)
+        return True
+    if isinstance(a, Compound):
+        if (
+            not isinstance(b, Compound)
+            or a.functor != b.functor
+            or len(a.args) != len(b.args)
+        ):
+            return False
+        return all(
+            _terms_match(aa, bb, mapping, used) for aa, bb in zip(a.args, b.args)
+        )
+    return a == b  # constants
+
+
+def rules_isomorphic(a: Rule, b: Rule) -> bool:
+    """Equality up to variable renaming, body order ignored.
+
+    Bodies in the paper's programs have at most a handful of literals,
+    so permutation search with memoized signatures is plenty fast.
+    """
+    if a.head.signature != b.head.signature or len(a.body) != len(b.body):
+        return False
+
+    b_body = list(b.body)
+
+    def extend(
+        index: int, mapping: Dict[Variable, Variable], used: set, taken: List[bool]
+    ) -> bool:
+        if index == len(a.body):
+            return True
+        literal = a.body[index]
+        for j, candidate in enumerate(b_body):
+            if taken[j] or candidate.signature != literal.signature:
+                continue
+            trial = dict(mapping)
+            trial_used = set(used)
+            if all(
+                _terms_match(x, y, trial, trial_used)
+                for x, y in zip(literal.args, candidate.args)
+            ):
+                taken[j] = True
+                if extend(index + 1, trial, trial_used, taken):
+                    return True
+                taken[j] = False
+        return False
+
+    mapping: Dict[Variable, Variable] = {}
+    used: set = set()
+    if not all(
+        _terms_match(x, y, mapping, used) for x, y in zip(a.head.args, b.head.args)
+    ):
+        return False
+    return extend(0, mapping, used, [False] * len(b_body))
+
+
+def programs_isomorphic(
+    a: Program,
+    b: Program,
+    predicate_renaming: Optional[Dict[str, str]] = None,
+) -> bool:
+    """Rule-multiset equality up to renaming.
+
+    ``predicate_renaming`` maps predicate names of ``a`` onto those of
+    ``b`` (e.g. ``{"cnt_p@bf": "m_p@bf", "ans_p@bf": "f_p@bf"}``).
+    """
+    renaming = predicate_renaming or {}
+    a_rules = [
+        Rule(
+            _rename_predicates(rule.head, renaming),
+            tuple(_rename_predicates(lit, renaming) for lit in rule.body),
+        )
+        for rule in a.rules
+    ]
+    b_rules = list(b.rules)
+    if len(a_rules) != len(b_rules):
+        return False
+    taken = [False] * len(b_rules)
+
+    def match(index: int) -> bool:
+        if index == len(a_rules):
+            return True
+        for j, candidate in enumerate(b_rules):
+            if taken[j]:
+                continue
+            if rules_isomorphic(a_rules[index], candidate):
+                taken[j] = True
+                if match(index + 1):
+                    return True
+                taken[j] = False
+        return False
+
+    return match(0)

@@ -1,0 +1,201 @@
+"""Separable recursions (Section 6.2, Definitions 6.1-6.6).
+
+A recursion ``t`` defined by linear recursive rules is *separable* when
+(Definition 6.4):
+
+1. no rule has *shifting variables* (a variable appearing at different
+   ``t`` positions in head and body);
+2. in every rule the head positions touching nonrecursive body
+   predicates (``t_h``) equal the body positions doing so (``t_b``);
+3. across rules the ``t_h`` sets are pairwise equal or disjoint;
+4. removing the ``t`` instance from a rule body leaves a maximal
+   connected set — read here as: the remaining nonrecursive instances
+   are pairwise connected through shared variables (a single connected
+   component).  This is a reconstruction of [7]'s wording; it correctly
+   rejects same-generation (whose ``up``/``down`` literals are not
+   connected) and accepts all one-sided rule shapes, which is what
+   Theorem 6.3 consumes.
+
+A separable recursion is *reducible* (Definition 6.6) when no fixed
+variable appears in any ``t_h`` — Theorem 6.3 then shows Magic +
+factoring applies to every full-selection query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+
+def _single_occurrence(rule: Rule, predicate: str) -> Optional[Literal]:
+    occurrences = rule.body_literals(predicate)
+    if len(occurrences) != 1:
+        return None
+    return occurrences[0]
+
+
+def shifting_variables(rule: Rule, predicate: str) -> Set[Variable]:
+    """Variables at different positions in head and body ``t`` instances."""
+    occurrence = _single_occurrence(rule, predicate)
+    if occurrence is None:
+        raise ValueError(f"rule is not linear in {predicate}: {rule}")
+    shifting: Set[Variable] = set()
+    for i, head_arg in enumerate(rule.head.args):
+        head_set = set(head_arg.variables())
+        for j, body_arg in enumerate(occurrence.args):
+            if i == j:
+                continue
+            if head_set & set(body_arg.variables()):
+                shifting |= head_set & set(body_arg.variables())
+    return shifting
+
+
+def fixed_variables(rule: Rule, predicate: str) -> Set[Variable]:
+    """Definition 6.5: variables in the same position of head and body."""
+    occurrence = _single_occurrence(rule, predicate)
+    if occurrence is None:
+        raise ValueError(f"rule is not linear in {predicate}: {rule}")
+    fixed: Set[Variable] = set()
+    for head_arg, body_arg in zip(rule.head.args, occurrence.args):
+        fixed |= set(head_arg.variables()) & set(body_arg.variables())
+    return fixed
+
+
+def _touched_positions(literal: Literal, outside_vars: Set[Variable]) -> Set[int]:
+    """Argument positions of ``literal`` sharing a variable with ``outside_vars``."""
+    return {
+        i
+        for i, arg in enumerate(literal.args)
+        if set(arg.variables()) & outside_vars
+    }
+
+
+def _connected_components(literals: List[Literal]) -> List[Set[int]]:
+    """Connected components of literals under shared-variable adjacency."""
+    n = len(literals)
+    var_sets = [set(lit.iter_variables()) for lit in literals]
+    remaining = set(range(n))
+    components: List[Set[int]] = []
+    while remaining:
+        seed = remaining.pop()
+        component = {seed}
+        changed = True
+        while changed:
+            changed = False
+            for other in list(remaining):
+                if any(var_sets[other] & var_sets[member] for member in component):
+                    component.add(other)
+                    remaining.discard(other)
+                    changed = True
+        components.append(component)
+    return components
+
+
+@dataclass
+class SeparabilityReport:
+    """The full diagnosis of Definition 6.4 on one recursion."""
+
+    predicate: str
+    separable: bool
+    reducible: bool
+    reasons: List[str] = field(default_factory=list)
+    t_h_sets: List[frozenset] = field(default_factory=list)
+    fixed: List[Set[Variable]] = field(default_factory=list)
+
+
+def analyze_separability(program: Program, predicate: str) -> SeparabilityReport:
+    """Apply Definitions 6.1-6.6 to the recursion defining ``predicate``.
+
+    Exit rules (no recursive occurrence) are ignored, as in the paper;
+    every recursive rule must be linear.
+    """
+    reasons: List[str] = []
+    recursive_rules: List[Rule] = []
+    for rule in program.rules_for(predicate):
+        occurrences = rule.body_literals(predicate)
+        if not occurrences:
+            continue
+        if len(occurrences) > 1:
+            reasons.append(f"rule is not linear: {rule}")
+            return SeparabilityReport(predicate, False, False, reasons)
+        recursive_rules.append(rule)
+    if not recursive_rules:
+        reasons.append("no recursive rules")
+        return SeparabilityReport(predicate, False, False, reasons)
+
+    t_h_sets: List[frozenset] = []
+    fixed_sets: List[Set[Variable]] = []
+    separable = True
+
+    for rule in recursive_rules:
+        occurrence = _single_occurrence(rule, predicate)
+        nonrecursive = [lit for lit in rule.body if lit.predicate != predicate]
+        nonrec_vars = {v for lit in nonrecursive for v in lit.iter_variables()}
+
+        # Condition (1): no shifting variables.
+        shifting = shifting_variables(rule, predicate)
+        if shifting:
+            separable = False
+            reasons.append(f"shifting variables {sorted(v.name for v in shifting)} in {rule}")
+
+        # Condition (2): t_h == t_b.
+        t_h = frozenset(_touched_positions(rule.head, nonrec_vars))
+        t_b = frozenset(_touched_positions(occurrence, nonrec_vars))
+        if t_h != t_b:
+            separable = False
+            reasons.append(
+                f"head positions {sorted(t_h)} != body positions {sorted(t_b)} in {rule}"
+            )
+        t_h_sets.append(t_h)
+        fixed_sets.append(fixed_variables(rule, predicate))
+
+        # Condition (4): nonrecursive literals form one connected component.
+        components = _connected_components(nonrecursive)
+        if len(components) > 1:
+            separable = False
+            reasons.append(
+                f"nonrecursive literals split into {len(components)} components in {rule}"
+            )
+
+    # Condition (3): pairwise equal or disjoint t_h sets.
+    for i in range(len(t_h_sets)):
+        for j in range(i + 1, len(t_h_sets)):
+            a, b = t_h_sets[i], t_h_sets[j]
+            if a != b and (a & b):
+                separable = False
+                reasons.append(
+                    f"t_h sets {sorted(a)} and {sorted(b)} overlap without being equal"
+                )
+
+    # Definition 6.6: reducible iff no fixed variable sits at a t_h position.
+    reducible = separable
+    if separable:
+        for rule, t_h, fixed in zip(recursive_rules, t_h_sets, fixed_sets):
+            for position in t_h:
+                position_vars = set(rule.head.args[position].variables())
+                if position_vars & fixed:
+                    reducible = False
+                    reasons.append(
+                        f"fixed variable at t_h position {position} in {rule}"
+                    )
+    return SeparabilityReport(
+        predicate=predicate,
+        separable=separable,
+        reducible=reducible,
+        reasons=reasons,
+        t_h_sets=t_h_sets,
+        fixed=fixed_sets,
+    )
+
+
+def is_separable(program: Program, predicate: str) -> bool:
+    return analyze_separability(program, predicate).separable
+
+
+def is_reducible_separable(program: Program, predicate: str) -> bool:
+    return analyze_separability(program, predicate).reducible

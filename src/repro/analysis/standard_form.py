@@ -1,0 +1,143 @@
+"""Standard form (Section 4.1).
+
+A rule is in *standard form* with respect to the recursive predicate
+``p`` when every argument of every ``p``-literal (head or body) is a
+variable and no variable appears in two arguments of the same
+``p``-literal.  The paper removes constants and repeated variables
+with the conceptually infinite EDB predicate ``equal``, and function
+terms with predicates such as ``list`` (one per functor):
+
+    p(X, X, 5, Y)   becomes   p(X, U, V, Y), equal(X, U), equal(V, 5)
+    p(X.Y, Z)       becomes   p(U, Z), list(X, Y, U)
+
+The translation is purely syntactic and used only at compile time to
+test factorability; the evaluated program stays in its original form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import (
+    Compound,
+    Constant,
+    LIST_FUNCTOR,
+    Term,
+    Variable,
+    fresh_variable,
+)
+
+EQUAL = "equal"
+LIST = "list"
+
+
+def functor_predicate(functor: str, arity: int) -> str:
+    """The flattening predicate for a functor.
+
+    The binary list constructor maps to the paper's ``list`` predicate
+    (``list(H, T, L)`` meaning ``L = [H | T]``); other functors ``f/k``
+    map to ``fn_f`` with ``k + 1`` arguments, the last being the whole
+    term.
+    """
+    if functor == LIST_FUNCTOR and arity == 2:
+        return LIST
+    return f"fn_{functor}"
+
+
+@dataclass
+class StandardFormResult:
+    """A program in standard form plus the bookkeeping of the rewrite."""
+
+    program: Program
+    #: Signatures of the conceptually infinite predicates introduced.
+    infinite_predicates: Set[Tuple[str, int]] = field(default_factory=set)
+    changed: bool = False
+
+
+def _flatten_term(
+    term: Term,
+    extra: List[Literal],
+    infinite: Set[Tuple[str, int]],
+) -> Term:
+    """Replace a non-variable term by a fresh variable plus defining atoms."""
+    if isinstance(term, Variable):
+        return term
+    if isinstance(term, Constant):
+        var = fresh_variable("C")
+        extra.append(Literal(EQUAL, (var, term)))
+        infinite.add((EQUAL, 2))
+        return var
+    if isinstance(term, Compound):
+        arg_vars = []
+        for arg in term.args:
+            if isinstance(arg, Variable):
+                arg_vars.append(arg)
+            else:
+                arg_vars.append(_flatten_term(arg, extra, infinite))
+        var = fresh_variable("F")
+        predicate = functor_predicate(term.functor, len(term.args))
+        extra.append(Literal(predicate, (*arg_vars, var)))
+        infinite.add((predicate, len(term.args) + 1))
+        return var
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _standardize_literal(
+    literal: Literal,
+    extra: List[Literal],
+    infinite: Set[Tuple[str, int]],
+) -> Literal:
+    """Make every argument a distinct variable, emitting defining atoms."""
+    seen: Set[Variable] = set()
+    new_args: List[Term] = []
+    for arg in literal.args:
+        if isinstance(arg, Variable):
+            if arg in seen:
+                var = fresh_variable("R")
+                extra.append(Literal(EQUAL, (arg, var)))
+                infinite.add((EQUAL, 2))
+                new_args.append(var)
+                seen.add(var)
+            else:
+                seen.add(arg)
+                new_args.append(arg)
+        else:
+            var = _flatten_term(arg, extra, infinite)
+            new_args.append(var)
+            seen.add(var)
+    return Literal(literal.predicate, new_args)
+
+
+def to_standard_form(program: Program, predicates: Set[str]) -> StandardFormResult:
+    """Rewrite every literal of the named predicates into standard form.
+
+    ``predicates`` names the recursive (adorned) predicates whose
+    literals must be standardized; other literals are left alone, as in
+    the paper.
+    """
+    infinite: Set[Tuple[str, int]] = set()
+    new_rules: List[Rule] = []
+    changed = False
+    for rule in program.rules:
+        extra: List[Literal] = []
+        head = rule.head
+        if head.predicate in predicates:
+            head = _standardize_literal(head, extra, infinite)
+        body: List[Literal] = []
+        for literal in rule.body:
+            if literal.predicate in predicates:
+                body.append(_standardize_literal(literal, extra, infinite))
+            else:
+                body.append(literal)
+        if extra or head != rule.head:
+            changed = True
+        new_rules.append(Rule(head, (*body, *extra)))
+    return StandardFormResult(
+        program=Program(new_rules),
+        infinite_predicates=infinite,
+        changed=changed,
+    )

@@ -1,0 +1,154 @@
+"""Uniform containment and equivalence of Datalog programs (Sagiv [13]).
+
+Program ``P1`` is *uniformly contained* in ``P2`` when, for every
+database ``D`` (over EDB *and* IDB predicates), the least model of
+``P1 ∪ D`` is contained in that of ``P2 ∪ D``.  Uniform containment is
+decidable by the chase: ``P1 ⊑u P2`` iff for every rule ``H :- B`` of
+``P1``, evaluating ``P2`` over the *frozen* body ``B`` (variables
+replaced by fresh constants) rederives the frozen head.
+
+The Section 5 simplifier uses the rule-level test (deleting ``r`` from
+``P`` is sound when ``P \\ {r} ⊒u P``, i.e. the remaining rules
+rederive ``r``); Example 5.3's final step is exactly this.  The module
+exposes the program-level relation as well, which makes statements like
+"these two rewritings are interchangeable" checkable.
+
+Only Datalog is supported: with function symbols the chase may not
+terminate, and callers receive ``UniformUndecidedError`` instead of a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.engine.database import Database
+from repro.engine.naive import naive_eval
+from repro.engine.stats import NonTerminationError
+from repro.engine.unify import Substitution
+
+
+class UniformUndecidedError(RuntimeError):
+    """The chase could not run (function symbols or budget exhausted)."""
+
+
+def _uses_compounds(rule: Rule) -> bool:
+    return any(
+        isinstance(arg, Compound)
+        for literal in (rule.head, *rule.body)
+        for arg in literal.args
+    )
+
+
+def freeze_rule(rule: Rule) -> Tuple[Literal, Database]:
+    """Freeze a rule's variables to fresh constants.
+
+    Returns the frozen head and a database holding the frozen body
+    atoms (of every predicate — uniform containment quantifies over
+    IDB-containing databases).
+    """
+    mapping = {
+        var: Constant(f"~frozen~{i}") for i, var in enumerate(rule.variables())
+    }
+    subst = Substitution(dict(mapping))
+    db = Database()
+    for literal in rule.body:
+        ground = subst.apply_literal(literal)
+        db.relation(ground.predicate, ground.arity).add(ground.args)
+    return subst.apply_literal(rule.head), db
+
+
+def chase_derives(
+    program: Program,
+    rule: Rule,
+    max_iterations: int = 200,
+    max_facts: int = 200_000,
+) -> bool:
+    """Does ``program`` rederive ``rule``'s frozen head from its body?"""
+    if _uses_compounds(rule) or any(_uses_compounds(r) for r in program.rules):
+        raise UniformUndecidedError(
+            "the chase requires pure Datalog (no function symbols)"
+        )
+    head, db = freeze_rule(rule)
+    try:
+        result, _ = naive_eval(
+            program, db, max_iterations=max_iterations, max_facts=max_facts
+        )
+    except NonTerminationError as err:
+        raise UniformUndecidedError(str(err)) from err
+    return head.args in result.facts(head.predicate, head.arity)
+
+
+def uniformly_contained(p1: Program, p2: Program, **kwargs) -> bool:
+    """``P1 ⊑u P2``: every rule of P1 is chase-derivable from P2.
+
+    Facts of ``P1`` must appear (as facts or be derivable) in ``P2``.
+    """
+    for rule in p1.rules:
+        if not rule.body:
+            # A fact is derivable iff P2 ∪ {} produces it.
+            try:
+                db, _ = naive_eval(
+                    p2,
+                    Database(),
+                    max_iterations=kwargs.get("max_iterations", 200),
+                    max_facts=kwargs.get("max_facts", 200_000),
+                )
+            except NonTerminationError as err:
+                raise UniformUndecidedError(str(err)) from err
+            if rule.head.args not in db.facts(
+                rule.head.predicate, rule.head.arity
+            ):
+                return False
+            continue
+        if not chase_derives(p2, rule, **kwargs):
+            return False
+    return True
+
+
+def uniformly_equivalent(p1: Program, p2: Program, **kwargs) -> bool:
+    return uniformly_contained(p1, p2, **kwargs) and uniformly_contained(
+        p2, p1, **kwargs
+    )
+
+
+def redundant_rules(program: Program, **kwargs) -> List[Rule]:
+    """Rules deletable one at a time under uniform equivalence.
+
+    Returns the rules removed by the greedy left-to-right policy the
+    simplifier uses (Section 7.4 notes the outcome can be
+    order-dependent; this order is the documented, reproducible one).
+    """
+    if any(_uses_compounds(rule) for rule in program.rules):
+        raise UniformUndecidedError(
+            "the chase requires pure Datalog (no function symbols)"
+        )
+    rules = list(program.rules)
+    removed: List[Rule] = []
+    changed = True
+    while changed:
+        changed = False
+        for rule in list(rules):
+            if not rule.body:
+                continue
+            rest = Program([r for r in rules if r is not rule])
+            if chase_derives(rest, rule, **kwargs):
+                rules.remove(rule)
+                removed.append(rule)
+                changed = True
+                break
+    return removed
+
+
+def minimize_program(program: Program, **kwargs) -> Program:
+    """Delete every uniformly redundant rule (greedy, reproducible).
+
+    Filtering is by object identity, not equality: a program containing
+    a duplicated rule keeps exactly one copy.
+    """
+    dropped_ids = {id(rule) for rule in redundant_rules(program, **kwargs)}
+    return Program([r for r in program.rules if id(r) not in dropped_ids])

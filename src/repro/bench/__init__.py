@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import Measurement, Series, render_table, bench_scale
+
+__all__ = ["Measurement", "Series", "render_table", "bench_scale"]

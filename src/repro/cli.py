@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``classify``   Report rule classification, one-sidedness, separability,
+               and factorability for a program + query.
+``optimize``   Print every stage of the optimization pipeline.
+``run``        Evaluate a query over a program and facts file.
+``validate``   Lint a program (safety, arities, singletons, ...).
+``explain``    Print a derivation tree for one ground fact.
+
+Programs are Datalog text files; facts files are Datalog files of
+ground facts (``e(1, 2).``), loaded as the EDB.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_literal, parse_program, parse_query
+from repro.datalog.program import Program
+from repro.datalog.validate import validate_program
+from repro.engine.database import Database, load_program_facts
+from repro.engine.provenance import explain as explain_fact
+from repro.engine.seminaive import seminaive_eval
+
+
+def _load_program(path: str) -> Program:
+    with open(path) as handle:
+        return parse_program(handle.read())
+
+
+def _load_edb(path: Optional[str]) -> Database:
+    db = Database()
+    if path is None:
+        return db
+    facts = _load_program(path)
+    load_program_facts(facts, db)
+    return db
+
+
+def cmd_classify(args) -> int:
+    program = _load_program(args.program)
+    goal = parse_query(args.query)
+    result = optimize(program, goal)
+    if result.classification is not None:
+        print("classification:")
+        for rc in result.classification.rules:
+            print(f"  {rc.rule_class.value:14s}  {rc.rule}")
+        if not result.classification.ok:
+            print(f"  reason: {result.classification.reason}")
+    if result.reduction is not None:
+        print(
+            f"static-argument reduction removed positions "
+            f"{list(result.reduction.removed_positions)}"
+        )
+    if result.report is not None and result.report.factorable:
+        print(f"factorable: yes — {result.report.certified_by}")
+    elif result.report is not None:
+        print("factorable: no")
+        for reason in result.report.reasons:
+            print(f"  - {reason}")
+    else:
+        print("factorable: not applicable")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    program = _load_program(args.program)
+    goal = parse_query(args.query)
+    result = optimize(program, goal)
+    print("=== adorned ===")
+    print(result.adorned.program)
+    print("\n=== magic ===")
+    print(result.magic.program)
+    if result.factored is not None:
+        print("\n=== factored ===")
+        print(result.factored.program)
+    if result.simplified is not None:
+        print("\n=== simplified ===")
+        print(result.simplified.program)
+    if args.trace and result.trace is not None:
+        print("\n=== simplification trace ===")
+        for step in result.trace.steps:
+            print(f"  {step}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.program)
+    goal = parse_query(args.query)
+    edb = _load_edb(args.facts)
+    result = optimize(program, goal)
+    answers, stats = result.answers(edb)
+    strategy = "factored" if result.simplified is not None else "magic"
+    for row in sorted(answers, key=str):
+        print("\t".join(str(term) for term in row) if row else "true")
+    print(
+        f"-- {len(answers)} answers via {strategy}; {stats.facts} facts, "
+        f"{stats.inferences} inferences, {stats.seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    program = _load_program(args.program)
+    report = validate_program(program)
+    print(report)
+    return 0 if report.ok else 1
+
+
+def cmd_explain(args) -> int:
+    program = _load_program(args.program)
+    edb = _load_edb(args.facts)
+    fact = parse_literal(args.fact)
+    try:
+        tree = explain_fact(program, edb, fact)
+    except KeyError:
+        print(f"{fact} is not derivable", file=sys.stderr)
+        return 1
+    print(tree.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Argument reduction by factoring — Datalog optimizer CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="classify a program for a query form")
+    p.add_argument("program")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("optimize", help="print all pipeline stages")
+    p.add_argument("program")
+    p.add_argument("query")
+    p.add_argument("--trace", action="store_true", help="show deletions")
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser("run", help="answer a query over a facts file")
+    p.add_argument("program")
+    p.add_argument("query")
+    p.add_argument("--facts", help="Datalog file of ground facts")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("validate", help="lint a program")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("explain", help="derivation tree for a ground fact")
+    p.add_argument("program")
+    p.add_argument("fact")
+    p.add_argument("--facts", help="Datalog file of ground facts")
+    p.set_defaults(func=cmd_explain)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

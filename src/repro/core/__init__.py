@@ -1,0 +1,71 @@
+"""The paper's primary contribution: factoring and its surroundings.
+
+* :mod:`repro.core.factoring` — the factoring transformation
+  (Proposition 3.1) and bound/free factoring of Magic programs;
+* :mod:`repro.core.theorems` — the factorability recognizers
+  (Theorems 4.1, 4.2, 4.3, 6.2, 6.3);
+* :mod:`repro.core.simplify` — the Section 5 optimizations;
+* :mod:`repro.core.reduction` — static-argument reduction
+  (Definitions 5.1-5.2, Lemmas 5.1-5.2);
+* :mod:`repro.core.undecidability` — the Theorem 3.1 gadget;
+* :mod:`repro.core.pipeline` — ``optimize()``: Magic Sets followed by
+  factoring and simplification, with full provenance.
+"""
+
+from repro.core.factoring import (
+    FactoredProgram,
+    factor_predicate,
+    factor_magic,
+    bound_name,
+    free_name,
+)
+from repro.core.theorems import (
+    FactorabilityReport,
+    check_factorability,
+    is_selection_pushing,
+    is_symmetric,
+    is_answer_propagating,
+)
+from repro.core.simplify import simplify_factored, SimplificationTrace
+from repro.core.reduction import (
+    static_argument_positions,
+    reduce_static_arguments,
+    ReductionResult,
+)
+from repro.core.undecidability import containment_gadget, GadgetPrograms
+from repro.core.nonunit import (
+    factor_inner,
+    inner_factoring_valid_on,
+    decouples_subgoals,
+    InnerFactoring,
+)
+from repro.core.section63 import rewrite_linear, NotLinearError
+from repro.core.pipeline import optimize, OptimizationResult
+
+__all__ = [
+    "FactoredProgram",
+    "factor_predicate",
+    "factor_magic",
+    "bound_name",
+    "free_name",
+    "FactorabilityReport",
+    "check_factorability",
+    "is_selection_pushing",
+    "is_symmetric",
+    "is_answer_propagating",
+    "simplify_factored",
+    "SimplificationTrace",
+    "static_argument_positions",
+    "reduce_static_arguments",
+    "ReductionResult",
+    "containment_gadget",
+    "GadgetPrograms",
+    "factor_inner",
+    "inner_factoring_valid_on",
+    "decouples_subgoals",
+    "InnerFactoring",
+    "rewrite_linear",
+    "NotLinearError",
+    "optimize",
+    "OptimizationResult",
+]

@@ -1,0 +1,161 @@
+"""The factoring transformation (Section 3, Proposition 3.1).
+
+Factoring ``p(X1..Xn)`` into ``p1(Xi..)`` / ``p2(Xj..)`` over disjoint
+argument subsets rewrites the program so that ``p`` disappears:
+
+* every body literal ``p(t̄)`` is replaced by the pair
+  ``p1(t̄|₁), p2(t̄|₂)`` of projected literals;
+* every rule with head ``p(t̄)`` is replaced by two rules with the same
+  body and the projected heads.
+
+When the factoring *property* holds (Section 3's semantic condition),
+the rewritten program computes the same answers for all EDBs; checking
+the property is undecidable in general (Theorem 3.1), which is why the
+recognizers in :mod:`repro.core.theorems` certify sufficient classes.
+
+The instantiation the paper applies throughout is factoring the
+recursive predicate of a **Magic program** into its bound part ``bp``
+and free part ``fp`` (Theorems 4.1-4.3); :func:`factor_magic` does
+exactly that, including the paper's ``query`` rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.adornment import Adornment, split_adorned_name
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.transforms.magic import MagicResult, magic_name
+
+
+def bound_name(adorned_predicate: str) -> str:
+    """The bound-part predicate (the paper's ``bp`` / ``bt``)."""
+    return f"b_{adorned_predicate}"
+
+
+def free_name(adorned_predicate: str) -> str:
+    """The free-part predicate (the paper's ``fp`` / ``ft``)."""
+    return f"f_{adorned_predicate}"
+
+
+@dataclass
+class FactoredProgram:
+    """A factored program plus the metadata the simplifier relies on."""
+
+    program: Program
+    #: the predicate that was factored away
+    predicate: str
+    #: the two projection predicates and their argument positions
+    first_name: str
+    second_name: str
+    first_positions: Tuple[int, ...]
+    second_positions: Tuple[int, ...]
+    #: for magic factoring: the magic predicate and seed constants
+    magic_predicate: Optional[str] = None
+    seed_args: Optional[Tuple[Term, ...]] = None
+    query_head: Optional[Literal] = None
+
+    def answers(self, db) -> Set[Tuple[Term, ...]]:
+        if self.query_head is None:
+            raise ValueError("this factored program has no query rule")
+        return db.query(self.query_head)
+
+
+def factor_predicate(
+    program: Program,
+    predicate: str,
+    arity: int,
+    first_positions: Sequence[int],
+    second_positions: Sequence[int],
+    first_name: Optional[str] = None,
+    second_name: Optional[str] = None,
+) -> FactoredProgram:
+    """Apply the factoring transformation of Proposition 3.1.
+
+    ``first_positions`` and ``second_positions`` must be disjoint and
+    cover ``range(arity)``; nontrivial factoring (Section 3) requires
+    both to be nonempty.
+    """
+    first_positions = tuple(first_positions)
+    second_positions = tuple(second_positions)
+    if set(first_positions) & set(second_positions):
+        raise ValueError("factoring projections must be disjoint")
+    if set(first_positions) | set(second_positions) != set(range(arity)):
+        raise ValueError("factoring projections must cover every position")
+    if not first_positions or not second_positions:
+        raise ValueError("nontrivial factoring requires two nonempty projections")
+    first_name = first_name or f"{predicate}:1"
+    second_name = second_name or f"{predicate}:2"
+
+    def project(literal: Literal) -> Tuple[Literal, Literal]:
+        first = Literal(first_name, tuple(literal.args[i] for i in first_positions))
+        second = Literal(
+            second_name, tuple(literal.args[i] for i in second_positions)
+        )
+        return first, second
+
+    new_rules: List[Rule] = []
+    for rule in program.rules:
+        body: List[Literal] = []
+        for literal in rule.body:
+            if literal.predicate == predicate and literal.arity == arity:
+                first, second = project(literal)
+                body.extend((first, second))
+            else:
+                body.append(literal)
+        if rule.head.predicate == predicate and rule.head.arity == arity:
+            first, second = project(rule.head)
+            new_rules.append(Rule(first, body))
+            new_rules.append(Rule(second, body))
+        else:
+            new_rules.append(Rule(rule.head, body))
+
+    return FactoredProgram(
+        program=Program(new_rules),
+        predicate=predicate,
+        first_name=first_name,
+        second_name=second_name,
+        first_positions=first_positions,
+        second_positions=second_positions,
+    )
+
+
+def factor_magic(magic: MagicResult) -> FactoredProgram:
+    """Factor the recursive predicate of a Magic program into bp / fp.
+
+    The goal's adorned predicate ``p^a(X̄, Ȳ)`` is factored into
+    ``bp(X̄)`` (bound positions) and ``fp(Ȳ)`` (free positions), as in
+    Theorems 4.1-4.3.  The Magic program's ``query`` rule is rewritten
+    along with everything else, yielding the paper's
+    ``query(Ȳ) :- bp(x̄0), fp(Ȳ)`` form.
+    """
+    goal = magic.goal
+    base, adornment = split_adorned_name(goal.predicate)
+    if adornment is None:
+        raise ValueError(f"goal {goal} is not adorned")
+    bound = adornment.bound_positions()
+    free = adornment.free_positions()
+    factored = factor_predicate(
+        magic.program,
+        goal.predicate,
+        goal.arity,
+        bound,
+        free,
+        first_name=bound_name(goal.predicate),
+        second_name=free_name(goal.predicate),
+    )
+    return FactoredProgram(
+        program=factored.program,
+        predicate=factored.predicate,
+        first_name=factored.first_name,
+        second_name=factored.second_name,
+        first_positions=factored.first_positions,
+        second_positions=factored.second_positions,
+        magic_predicate=magic_name(goal.predicate),
+        seed_args=magic.seed.args,
+        query_head=magic.query_head,
+    )

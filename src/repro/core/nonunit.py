@@ -1,0 +1,171 @@
+"""Factoring inner predicates of non-unit programs (Section 7.3).
+
+Section 7.3 asks: when can ``p^a`` be factored even though it is *not*
+the top-level query predicate?  Example 7.2 shows the answer depends on
+both the calling context and ``p``'s definition:
+
+* with ``P = q(Y) :- a(X, Z), p(Z, Y)`` and the right-linear ``P1``,
+  factoring ``p^bf`` in the Magic program of ``P ∪ P1`` is valid —
+  every seed's answers are interchangeable for the query;
+* with ``P = q(X, Y) :- a(X, Z), p(Z, Y)`` it is not: the query
+  correlates each subgoal with its own answers, which the split
+  ``bp``/``fp`` loses;
+* with the combined-rule ``P2`` it is invalid for either query form.
+
+The paper leaves sufficient conditions open.  This module provides the
+machinery to *explore* the question: :func:`factor_inner` builds the
+candidate factored program, :func:`inner_factoring_valid_on` tests it
+against Magic on a given EDB, and :func:`decouples_subgoals` implements
+the one sufficient condition Example 7.2 suggests — that no rule of the
+outer program uses both the bound and the free side of a ``p`` literal
+with variables that reach the query head (the subgoal/answer
+correlation test).  The condition is documented as a heuristic, not a
+theorem: the benchmark (E16) probes it empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.adornment import Adornment, adorn, split_adorned_name
+from repro.core.factoring import FactoredProgram, bound_name, factor_predicate, free_name
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.engine.database import Database
+from repro.engine.seminaive import seminaive_eval
+from repro.transforms.magic import MagicResult, magic_name, magic_sets
+
+
+@dataclass
+class InnerFactoring:
+    """A candidate factoring of an inner adorned predicate."""
+
+    magic: MagicResult
+    factored: Program
+    predicate: str          # the adorned inner predicate, e.g. p@bf
+    adornment: Adornment
+
+    def answers_magic(self, edb: Database):
+        db, stats = seminaive_eval(self.magic.program, edb)
+        return db.query(self.magic.query_head), stats
+
+    def answers_factored(self, edb: Database):
+        db, stats = seminaive_eval(self.factored, edb)
+        return db.query(self.magic.query_head), stats
+
+
+def factor_inner(
+    program: Program, goal: Literal, inner_predicate: str
+) -> InnerFactoring:
+    """Factor ``inner_predicate`` (base name) in the Magic program.
+
+    The program need not be unit; the inner predicate must reach a
+    single adornment from ``goal`` (multiple adornments would need one
+    factoring per adorned version).
+    """
+    adorned = adorn(program, goal)
+    magic = magic_sets(adorned)
+    candidates = {
+        name
+        for name in {r.head.predicate for r in adorned.program.rules}
+        if split_adorned_name(name)[0] == inner_predicate
+    }
+    if len(candidates) != 1:
+        raise ValueError(
+            f"{inner_predicate} reaches adornments {sorted(candidates)}; "
+            "exactly one is required"
+        )
+    adorned_name = next(iter(candidates))
+    _, adornment = split_adorned_name(adorned_name)
+    bound = adornment.bound_positions()
+    free = adornment.free_positions()
+    if not bound or not free:
+        raise ValueError(f"{adorned_name} admits only trivial factorings")
+    factored = factor_predicate(
+        magic.program,
+        adorned_name,
+        len(adornment),
+        bound,
+        free,
+        first_name=bound_name(adorned_name),
+        second_name=free_name(adorned_name),
+    )
+    return InnerFactoring(
+        magic=magic,
+        factored=factored.program,
+        predicate=adorned_name,
+        adornment=adornment,
+    )
+
+
+def inner_factoring_valid_on(
+    program: Program, goal: Literal, inner_predicate: str, edb: Database
+) -> bool:
+    """Empirical validity: factored answers equal Magic answers on ``edb``."""
+    candidate = factor_inner(program, goal, inner_predicate)
+    magic_answers, _ = candidate.answers_magic(edb)
+    factored_answers, _ = candidate.answers_factored(edb)
+    return magic_answers == factored_answers
+
+
+def decouples_subgoals(
+    program: Program, goal: Literal, inner_predicate: str
+) -> bool:
+    """The Example 7.2 correlation heuristic.
+
+    Factoring an inner ``p`` loses which answer belongs to which
+    subgoal.  That is harmless when no rule outside ``p``'s own
+    definition *correlates* the two sides: for every rule of the outer
+    program with a ``p`` body literal, the variables of ``p``'s bound
+    arguments must not occur in the rule head or in any other body
+    literal that shares variables with the head.  (The unary
+    ``q(Y) :- a(X, Z), p(Z, Y)`` passes — ``Z`` reaches only ``a``,
+    which is disconnected from the head; the binary ``q(X, Y)`` version
+    fails because ``a`` links ``Z`` to the head variable ``X``.)
+
+    This is a *heuristic*, not one of the paper's theorems; Section 7.3
+    leaves the sufficient condition open, and E16 probes this one
+    empirically.
+    """
+    adorned = adorn(program, goal)
+    candidates = {
+        name
+        for name in {r.head.predicate for r in adorned.program.rules}
+        if split_adorned_name(name)[0] == inner_predicate
+    }
+    if len(candidates) != 1:
+        return False
+    adorned_name = next(iter(candidates))
+    _, adornment = split_adorned_name(adorned_name)
+    bound_positions = adornment.bound_positions()
+
+    for rule in adorned.program.rules:
+        if rule.head.predicate == adorned_name:
+            continue  # p's own rules are judged by the unit-program theorems
+        p_literals = [l for l in rule.body if l.predicate == adorned_name]
+        if not p_literals:
+            continue
+        head_vars = set(rule.head.iter_variables())
+        for p_literal in p_literals:
+            bound_vars: Set[Variable] = set()
+            for i in bound_positions:
+                bound_vars |= set(p_literal.args[i].variables())
+            # Which variables can the head "see", transitively through
+            # other body literals?
+            reachable = set(head_vars)
+            changed = True
+            while changed:
+                changed = False
+                for literal in rule.body:
+                    if literal is p_literal:
+                        continue
+                    lit_vars = set(literal.iter_variables())
+                    if lit_vars & reachable and not lit_vars <= reachable:
+                        reachable |= lit_vars
+                        changed = True
+            if bound_vars & reachable:
+                return False
+    return True

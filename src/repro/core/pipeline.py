@@ -1,0 +1,185 @@
+"""End-to-end optimization: Magic Sets followed by factoring.
+
+``optimize(program, goal)`` runs the paper's two-step approach
+(Section 4.2): adorn, apply Magic Sets, test the factorability classes,
+factor when certified, and simplify with the Section 5 rewrites.  When
+classification fails it retries after static-argument reduction
+(Lemma 5.1, the Example 5.1/5.2 device).  Every intermediate stage is
+kept on the result for inspection, testing, and benchmarking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.analysis.adornment import AdornedProgram, adorn, split_adorned_name
+from repro.analysis.classify import ProgramClassification, classify_program
+from repro.analysis.dependency import DependencyGraph
+from repro.core.factoring import FactoredProgram, factor_magic
+from repro.core.reduction import (
+    ReductionResult,
+    reduce_static_arguments,
+    static_argument_positions,
+)
+from repro.core.simplify import SimplificationTrace, simplify_factored
+from repro.core.theorems import FactorabilityReport, check_factorability
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.engine.database import Database
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import EvalStats
+from repro.transforms.magic import MagicResult, magic_sets
+
+
+@dataclass
+class OptimizationResult:
+    """All stages of one optimization run."""
+
+    original: Program
+    goal: Literal
+    adorned: AdornedProgram
+    magic: MagicResult
+    classification: Optional[ProgramClassification] = None
+    report: Optional[FactorabilityReport] = None
+    reduction: Optional[ReductionResult] = None
+    factored: Optional[FactoredProgram] = None
+    simplified: Optional[FactoredProgram] = None
+    trace: Optional[SimplificationTrace] = None
+    forced: bool = False
+
+    @property
+    def factorable(self) -> bool:
+        return self.factored is not None and not self.forced
+
+    def best_program(self) -> Program:
+        """The most optimized executable program produced."""
+        if self.simplified is not None:
+            return self.simplified.program
+        if self.factored is not None:
+            return self.factored.program
+        return self.magic.program
+
+    def answers(
+        self, edb: Database, evaluator=seminaive_eval, **kwargs
+    ) -> Tuple[Set[Tuple], EvalStats]:
+        """Evaluate the best program and read off the query answers."""
+        db, stats = evaluator(self.best_program(), edb, **kwargs)
+        return db.query(self.magic.query_head), stats
+
+    def evaluate_stage(
+        self, stage: str, edb: Database, evaluator=seminaive_eval, **kwargs
+    ) -> Tuple[Set[Tuple], EvalStats]:
+        """Evaluate a named stage: original | magic | factored | simplified."""
+        if stage == "original":
+            db, stats = evaluator(self.original, edb, **kwargs)
+            return db.query(self.goal), stats
+        programs = {
+            "magic": self.magic.program,
+            "factored": self.factored.program if self.factored else None,
+            "simplified": self.simplified.program if self.simplified else None,
+        }
+        program = programs.get(stage)
+        if program is None:
+            raise ValueError(f"stage {stage!r} not available")
+        db, stats = evaluator(program, edb, **kwargs)
+        return db.query(self.magic.query_head), stats
+
+
+def _recursive_adorned_predicate(
+    adorned: AdornedProgram,
+) -> Optional[str]:
+    """The single recursive adorned predicate, if the program is unit."""
+    graph = DependencyGraph(adorned.program)
+    recursive = {
+        sig
+        for sig in graph.recursive_signatures()
+        if adorned.program.is_idb(sig)
+    }
+    if len(recursive) != 1:
+        return None
+    return next(iter(recursive))[0]
+
+
+def optimize(
+    program: Program,
+    goal: Literal,
+    edb: Optional[Database] = None,
+    simplify: bool = True,
+    try_reduction: bool = True,
+    force_factor: bool = False,
+    use_uniform_equivalence: bool = True,
+) -> OptimizationResult:
+    """Optimize ``program`` for the query ``goal``.
+
+    ``edb`` switches the factorability conditions to the instance-level
+    (run-time) mode discussed after Example 4.3.  ``force_factor``
+    factors even when no theorem certifies it — used to demonstrate the
+    unsound results on Example 4.3's counterexample EDBs.
+    """
+    adorned = adorn(program, goal)
+    magic = magic_sets(adorned)
+
+    classification: Optional[ProgramClassification] = None
+    report: Optional[FactorabilityReport] = None
+    reduction: Optional[ReductionResult] = None
+
+    recursive_predicate = _recursive_adorned_predicate(adorned)
+    working = adorned
+    if recursive_predicate is not None:
+        base, adornment = split_adorned_name(recursive_predicate)
+        classification = classify_program(
+            adorned.program, recursive_predicate, adornment
+        )
+        if not classification.ok and try_reduction:
+            positions = static_argument_positions(
+                adorned.program, recursive_predicate, adornment
+            )
+            if positions and recursive_predicate == adorned.goal.predicate:
+                reduction = reduce_static_arguments(
+                    Program(adorned.program.rules_for(recursive_predicate)),
+                    adorned.goal,
+                    positions,
+                )
+                working = AdornedProgram(
+                    program=reduction.program,
+                    goal=reduction.goal,
+                    original_goal=goal,
+                    adornments={},
+                )
+                magic = magic_sets(working)
+                classification = classify_program(
+                    reduction.program,
+                    reduction.reduced_predicate,
+                    reduction.adornment,
+                )
+        if classification.ok:
+            report = check_factorability(classification, edb)
+
+    result = OptimizationResult(
+        original=program,
+        goal=goal,
+        adorned=working,
+        magic=magic,
+        classification=classification,
+        report=report,
+        reduction=reduction,
+    )
+
+    goal_pred = magic.goal.predicate
+    _, goal_adn = split_adorned_name(goal_pred)
+    nontrivial = bool(goal_adn.bound_positions()) and bool(goal_adn.free_positions())
+    should_factor = force_factor or (report is not None and report.factorable)
+    if should_factor and nontrivial and goal_pred == (
+        recursive_predicate if reduction is None else reduction.reduced_predicate
+    ):
+        factored = factor_magic(magic)
+        result.factored = factored
+        result.forced = force_factor and not (report and report.factorable)
+        if simplify:
+            simplified, trace = simplify_factored(
+                factored, use_uniform_equivalence=use_uniform_equivalence
+            )
+            result.simplified = simplified
+            result.trace = trace
+    return result

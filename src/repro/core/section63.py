@@ -1,0 +1,136 @@
+"""The left/right-linear rewriting algorithms of [9] (Section 6.3).
+
+Section 6.3 states that for the program classes of Naughton,
+Ramakrishnan, Sagiv & Ullman, "Efficient evaluation of right-, left-,
+and multi-linear rules" (SIGMOD 1989), Magic Sets followed by factoring
+"produces the same final program as the rewriting algorithms from that
+paper."  This module implements those special-purpose rewritings
+*directly* — without going through Magic — so the claim is checkable as
+a program isomorphism:
+
+* **right-linear** rules ``p(X̄, Ȳ) :- first(X̄, V̄), p(V̄, Ȳ)`` with a
+  bound-X̄ query become the goal-propagation program::
+
+      goal(x̄0).
+      goal(V̄) :- goal(X̄), first(X̄, V̄).
+      answer(Ȳ) :- goal(X̄), exit(X̄, Ȳ).
+
+* **left-linear** rules ``p(X̄, Ȳ) :- p(X̄, Ū), last(Ū, Ȳ)`` become the
+  answer-accumulation program::
+
+      goal(x̄0).
+      answer(Ȳ) :- goal(X̄), exit(X̄, Ȳ).
+      answer(Ȳ) :- answer(Ū), last(Ū, Ȳ).
+
+* mixed programs (both kinds of rules, as in the two-rule TC fragment
+  of the three-rule closure) compose both rule groups.
+
+The generated predicate names reuse the pipeline's (``m_p@a`` for the
+goal, ``f_p@a`` for the answer) so the isomorphism check needs no
+renaming.  Combined rules are outside [9]'s classes and are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.analysis.adornment import AdornedProgram, Adornment, adorn, split_adorned_name
+from repro.analysis.classify import (
+    ProgramClassification,
+    RuleClass,
+    classify_program,
+)
+from repro.core.factoring import free_name
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.transforms.magic import QUERY_PREDICATE, magic_name
+
+
+class NotLinearError(ValueError):
+    """The program is outside the left/right-linear classes of [9]."""
+
+
+def rewrite_linear(program: Program, goal: Literal) -> Tuple[Program, Literal]:
+    """Apply the [9] rewriting; returns the program and its query head.
+
+    ``program`` is the original (unadorned) unit program; ``goal`` the
+    query.  Raises :class:`NotLinearError` when any recursive rule is
+    combined or unclassifiable.
+    """
+    adorned = adorn(program, goal)
+    adorned_predicate = adorned.goal.predicate
+    base, adornment = split_adorned_name(adorned_predicate)
+    classification = classify_program(
+        adorned.program, adorned_predicate, adornment
+    )
+    if not classification.ok:
+        raise NotLinearError(classification.reason)
+
+    bound_positions = adornment.bound_positions()
+    free_positions = adornment.free_positions()
+    goal_pred = magic_name(adorned_predicate)
+    answer_pred = free_name(adorned_predicate)
+
+    rules: List[Rule] = []
+    seed_args = tuple(adorned.goal.args[i] for i in bound_positions)
+    rules.append(Rule(Literal(goal_pred, seed_args), ()))
+
+    for rc in classification.rules:
+        rule = rc.rule
+        head_bound = tuple(rule.head.args[i] for i in bound_positions)
+        head_free = tuple(rule.head.args[i] for i in free_positions)
+        if rc.rule_class is RuleClass.EXIT:
+            rules.append(
+                Rule(
+                    Literal(answer_pred, head_free),
+                    (Literal(goal_pred, head_bound), *rule.body),
+                )
+            )
+        elif rc.rule_class is RuleClass.RIGHT_LINEAR:
+            occurrence = rc.right_occurrence
+            occ_bound = tuple(occurrence.args[i] for i in bound_positions)
+            first_atoms = tuple(
+                lit for lit in rule.body if lit.predicate != adorned_predicate
+                and lit in rc.bound_first.body
+            )
+            rules.append(
+                Rule(
+                    Literal(goal_pred, occ_bound),
+                    (Literal(goal_pred, head_bound), *first_atoms),
+                )
+            )
+            # [9] requires empty "right" conjunctions for the pure
+            # goal-propagation form; reject otherwise.
+            if rc.free is not None and rc.free.body:
+                raise NotLinearError(
+                    "right-linear rule carries a right conjunction; "
+                    "outside the pure [9] form"
+                )
+        elif rc.rule_class is RuleClass.LEFT_LINEAR:
+            if rc.bound is not None and rc.bound.body:
+                raise NotLinearError(
+                    "left-linear rule carries a left conjunction; "
+                    "outside the pure [9] form"
+                )
+            u_vectors = [
+                tuple(occ.args[i] for i in free_positions)
+                for occ in rc.left_occurrences
+            ]
+            last_atoms = tuple(rc.free_last.body)
+            body: List[Literal] = [
+                Literal(answer_pred, u) for u in u_vectors
+            ]
+            body.extend(last_atoms)
+            rules.append(Rule(Literal(answer_pred, head_free), tuple(body)))
+        else:
+            raise NotLinearError(
+                f"rule is {rc.rule_class.value}; [9] handles only "
+                "left-/right-linear rules"
+            )
+
+    free_vars = [adorned.goal.args[i] for i in free_positions]
+    query_head = Literal(QUERY_PREDICATE, tuple(free_vars))
+    rules.append(Rule(query_head, (Literal(answer_pred, tuple(free_vars)),)))
+    return Program(rules), query_head

@@ -1,0 +1,130 @@
+"""The Theorem 3.1 reduction: factorability is undecidable.
+
+The proof reduces Datalog query containment (undecidable, Shmueli) to
+nontrivial factorability of the program
+
+    t(X, Y, Z) :- a1(X), q1(Y, Z).
+    t(X, Y, Z) :- a2(X), q2(Y, Z).
+
+with the query ``t(X, Y, Z)?``: factoring ``t`` into ``t1(X)`` and
+``t2(Y, Z)`` preserves the answers for every EDB iff ``q1`` and ``q2``
+compute the same relation whenever ``a1`` and ``a2`` differ — i.e. iff
+``q1 ≡ q2``.  This module builds the gadget for arbitrary ``q1``/``q2``
+programs, plus the two concrete EDBs the proof text uses to refute the
+*other* candidate factorings, so the construction can be demonstrated
+end to end (experiment E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.core.factoring import factor_predicate
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.engine.database import Database
+from repro.engine.seminaive import seminaive_eval
+
+
+@dataclass
+class GadgetPrograms:
+    """The reduction gadget: original and candidate-factored programs."""
+
+    original: Program
+    #: t factored into t1(X) and t2(Y, Z) — valid iff q1 ≡ q2
+    factored_1_23: Program
+    #: t factored into t1'(X, Y) and t2'(Z) — never valid (proof, part 1)
+    factored_12_3: Program
+    goal: Literal
+
+
+def containment_gadget(
+    q1_rules: Optional[Program] = None, q2_rules: Optional[Program] = None
+) -> GadgetPrograms:
+    """Build the Theorem 3.1 program for the given ``q1``/``q2`` IDBs.
+
+    ``q1_rules`` / ``q2_rules`` define binary predicates ``q1`` and
+    ``q2`` (arbitrary Datalog).  When omitted, ``q1`` and ``q2`` are
+    taken to be EDB relations — the configuration of the concrete
+    counterexample in the proof.
+    """
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    t_rules = [
+        Rule(
+            Literal("t", (x, y, z)),
+            (Literal("a1", (x,)), Literal("q1", (y, z))),
+        ),
+        Rule(
+            Literal("t", (x, y, z)),
+            (Literal("a2", (x,)), Literal("q2", (y, z))),
+        ),
+    ]
+    extra: List[Rule] = []
+    if q1_rules is not None:
+        extra.extend(q1_rules.rules)
+    if q2_rules is not None:
+        extra.extend(q2_rules.rules)
+    original = Program((*t_rules, *extra))
+    goal = Literal("t", (x, y, z))
+
+    def section3_prime(
+        first: Tuple[int, ...], second: Tuple[int, ...], n1: str, n2: str
+    ) -> Program:
+        """P' per Section 3: P plus the projection and recombination rules."""
+        projections = [
+            Rule(Literal(n1, tuple(goal.args[i] for i in first)), (goal,)),
+            Rule(Literal(n2, tuple(goal.args[i] for i in second)), (goal,)),
+            Rule(
+                goal,
+                (
+                    Literal(n1, tuple(goal.args[i] for i in first)),
+                    Literal(n2, tuple(goal.args[i] for i in second)),
+                ),
+            ),
+        ]
+        return original.add_rules(projections)
+
+    factored_1_23 = section3_prime((0,), (1, 2), "t1", "t2")
+    factored_12_3 = section3_prime((0, 1), (2,), "t1p", "t2p")
+    return GadgetPrograms(
+        original=original,
+        factored_1_23=factored_1_23,
+        factored_12_3=factored_12_3,
+        goal=goal,
+    )
+
+
+def proof_counterexample_edb() -> Database:
+    """The EDB from the proof refuting the ``t1'(X,Y), t2'(Z)`` factoring.
+
+    ``a2`` empty, ``a1 = {1}``, ``q2`` empty, ``q1 = {(2,3), (4,5)}``:
+    the original program computes only ``t(1,2,3)`` and ``t(1,4,5)``,
+    the rewritten one also ``t(1,2,5)`` and ``t(1,4,3)``.
+    """
+    return Database.from_dict({"a1": [(1,)], "q1": [(2, 3), (4, 5)]})
+
+
+def answers(program: Program, goal: Literal, edb: Database) -> Set[Tuple]:
+    """Evaluate and read off the goal's bindings."""
+    db, _ = seminaive_eval(program, edb)
+    return db.query(goal)
+
+
+def factoring_is_valid_on(
+    gadget: GadgetPrograms, which: str, edb: Database
+) -> bool:
+    """Whether a candidate factoring preserves the answers on ``edb``.
+
+    ``which`` is ``"1|23"`` (the containment-encoding split) or
+    ``"12|3"`` (the always-refutable split).
+    """
+    factored = {
+        "1|23": gadget.factored_1_23,
+        "12|3": gadget.factored_12_3,
+    }[which]
+    return answers(gadget.original, gadget.goal, edb) == answers(
+        factored, gadget.goal, edb
+    )

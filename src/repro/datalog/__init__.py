@@ -1,0 +1,69 @@
+"""The Datalog language substrate: terms, literals, rules, programs.
+
+This package defines the abstract syntax shared by every other
+subsystem in the repository, together with a parser
+(:mod:`repro.datalog.parser`) and a pretty-printer
+(:mod:`repro.datalog.pretty`).
+
+The language is Horn-clause logic with optional function symbols
+(compound terms), matching the setting of the paper: pure Datalog for
+Sections 3-6, and Prolog-style list terms for Examples 1.2 and 4.6.
+Negation never appears in the paper and is not supported.
+"""
+
+from repro.datalog.terms import (
+    Term,
+    Variable,
+    Constant,
+    Compound,
+    NIL,
+    make_list,
+    list_elements,
+    is_ground,
+    term_variables,
+    fresh_variable,
+)
+from repro.datalog.literals import Literal
+from repro.datalog.rules import Rule, Fact
+from repro.datalog.program import Program
+from repro.datalog.parser import (
+    parse_program,
+    parse_rule,
+    parse_literal,
+    parse_term,
+    parse_query,
+    ParseError,
+)
+from repro.datalog.pretty import pretty_term, pretty_literal, pretty_rule, pretty_program
+from repro.datalog.validate import validate_program, ValidationReport, Diagnostic, Severity
+
+__all__ = [
+    "Term",
+    "Variable",
+    "Constant",
+    "Compound",
+    "NIL",
+    "make_list",
+    "list_elements",
+    "is_ground",
+    "term_variables",
+    "fresh_variable",
+    "Literal",
+    "Rule",
+    "Fact",
+    "Program",
+    "parse_program",
+    "parse_rule",
+    "parse_literal",
+    "parse_term",
+    "parse_query",
+    "ParseError",
+    "pretty_term",
+    "pretty_literal",
+    "pretty_rule",
+    "pretty_program",
+    "validate_program",
+    "ValidationReport",
+    "Diagnostic",
+    "Severity",
+]

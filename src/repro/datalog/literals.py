@@ -1,0 +1,76 @@
+"""Literals: a predicate name applied to a tuple of terms."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.datalog.terms import Term, Variable, term_variables
+
+
+class Literal:
+    """An atom ``p(t1, ..., tn)``.
+
+    Predicates are identified by name *and* arity; the pair is exposed
+    as :attr:`signature`.  Literals are immutable and hashable so they
+    can key caches (e.g. adornment work-lists) and live in sets.
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: str, args: Iterable[Term] = ()):
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        args = tuple(args)
+        for arg in args:
+            if not isinstance(arg, Term):
+                raise TypeError(f"literal argument {arg!r} is not a Term")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", hash((predicate, args)))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Literal is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        return (self.predicate, len(self.args))
+
+    def is_ground(self) -> bool:
+        return all(arg.is_ground() for arg in self.args)
+
+    def variables(self) -> List[Variable]:
+        return term_variables(self.args)
+
+    def iter_variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    def with_args(self, args: Iterable[Term]) -> "Literal":
+        """A copy of this literal with different arguments (same predicate)."""
+        return Literal(self.predicate, args)
+
+    def with_predicate(self, predicate: str) -> "Literal":
+        """A copy of this literal with a different predicate name."""
+        return Literal(predicate, self.args)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.predicate == self.predicate
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Literal({self.predicate!r}, {self.args!r})"
+
+    def __str__(self) -> str:
+        from repro.datalog.pretty import pretty_literal
+
+        return pretty_literal(self)

@@ -1,0 +1,76 @@
+"""Pretty-printing of terms, literals, rules, and programs.
+
+The printed form is re-parseable by :mod:`repro.datalog.parser`
+(round-trip tested), with one readability concession: generated
+predicate names such as ``t@bf`` or ``m_t@bf`` contain ``@``/``~``
+characters, which the parser accepts inside predicate names so that
+dumps of transformed programs can be re-read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalog.literals import Literal
+from repro.datalog.rules import Rule
+from repro.datalog.terms import (
+    NIL,
+    Compound,
+    Constant,
+    Term,
+    Variable,
+    is_list_term,
+    list_elements,
+)
+
+
+def pretty_term(term: Term) -> str:
+    """Render a term in Prolog-ish concrete syntax."""
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, Constant):
+        value = term.value
+        if isinstance(value, str):
+            if value == "[]":
+                return "[]"
+            if _is_plain_atom(value):
+                return value
+            return "'" + value.replace("'", "\\'") + "'"
+        return repr(value)
+    if isinstance(term, Compound):
+        if is_list_term(term):
+            elements, tail = list_elements(term)
+            inner = ", ".join(pretty_term(e) for e in elements)
+            if tail == NIL:
+                return f"[{inner}]"
+            return f"[{inner} | {pretty_term(tail)}]"
+        args = ", ".join(pretty_term(a) for a in term.args)
+        return f"{term.functor}({args})"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _is_plain_atom(value: str) -> bool:
+    if not value:
+        return False
+    if not (value[0].islower() or value[0] == "_" and len(value) > 1):
+        return False
+    return all(ch.isalnum() or ch in "_@~" for ch in value)
+
+
+def pretty_literal(literal: Literal) -> str:
+    if not literal.args:
+        return literal.predicate
+    args = ", ".join(pretty_term(a) for a in literal.args)
+    return f"{literal.predicate}({args})"
+
+
+def pretty_rule(rule: Rule) -> str:
+    head = pretty_literal(rule.head)
+    if not rule.body:
+        return f"{head}."
+    body = ", ".join(pretty_literal(lit) for lit in rule.body)
+    return f"{head} :- {body}."
+
+
+def pretty_program(program: Iterable[Rule]) -> str:
+    return "\n".join(pretty_rule(rule) for rule in program)

@@ -1,0 +1,33 @@
+"""The evaluation substrate: storage, unification, and evaluators.
+
+The paper's efficiency claims are all phrased in terms of bottom-up
+(semi-naive) evaluation cost — the number of facts and inferences — so
+the engine exposes those counters on every run via
+:class:`repro.engine.stats.EvalStats`.
+"""
+
+from repro.engine.database import Database, Relation
+from repro.engine.unify import Substitution, unify, match, unify_terms
+from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.naive import naive_eval
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.topdown import topdown_eval, TopDownResult
+from repro.engine.provenance import provenance_eval, explain, DerivationTree
+
+__all__ = [
+    "Database",
+    "Relation",
+    "Substitution",
+    "unify",
+    "unify_terms",
+    "match",
+    "EvalStats",
+    "NonTerminationError",
+    "naive_eval",
+    "seminaive_eval",
+    "topdown_eval",
+    "TopDownResult",
+    "provenance_eval",
+    "explain",
+    "DerivationTree",
+]

@@ -1,0 +1,229 @@
+"""Relations and databases.
+
+A :class:`Relation` is a set of ground argument tuples with lazily
+built, incrementally maintained hash indexes over column subsets.  The
+indexes are what make semi-naive joins cheap enough that the paper's
+asymptotic separations (O(n) vs O(n^2) fact counts) show up as wall
+time and not just as counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term
+
+FactTuple = Tuple[Term, ...]
+Signature = Tuple[str, int]
+
+
+class Relation:
+    """A set of ground tuples plus hash indexes on column subsets.
+
+    Index keys are tuples of column positions (sorted); each index maps
+    the projection of a tuple onto those columns to the list of tuples
+    with that projection.  Indexes are created on first use and kept up
+    to date by :meth:`add`.
+    """
+
+    __slots__ = ("name", "arity", "tuples", "_indexes")
+
+    def __init__(self, name: str, arity: int):
+        self.name = name
+        self.arity = arity
+        self.tuples: Set[FactTuple] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
+
+    def add(self, fact: FactTuple) -> bool:
+        """Insert ``fact``; returns True if it was new."""
+        if len(fact) != self.arity:
+            raise ValueError(
+                f"arity mismatch for {self.name}: expected {self.arity}, got {len(fact)}"
+            )
+        if fact in self.tuples:
+            return False
+        self.tuples.add(fact)
+        for positions, index in self._indexes.items():
+            key = tuple(fact[i] for i in positions)
+            index.setdefault(key, []).append(fact)
+        return True
+
+    def __contains__(self, fact: FactTuple) -> bool:
+        return fact in self.tuples
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[FactTuple]:
+        return iter(self.tuples)
+
+    def lookup(self, positions: Tuple[int, ...], key: FactTuple) -> Sequence[FactTuple]:
+        """All tuples whose projection on ``positions`` equals ``key``.
+
+        With an empty ``positions`` this is a full scan.
+        """
+        if not positions:
+            return tuple(self.tuples)
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for fact in self.tuples:
+                k = tuple(fact[i] for i in positions)
+                index.setdefault(k, []).append(fact)
+            self._indexes[positions] = index
+        return index.get(key, ())
+
+    def copy(self) -> "Relation":
+        dup = Relation(self.name, self.arity)
+        dup.tuples = set(self.tuples)
+        return dup
+
+
+class Database:
+    """A mapping from predicate signatures to relations.
+
+    Used both for the EDB (loaded from workloads) and for the IDB
+    output of the evaluators.  Constants may be given as plain Python
+    values; they are wrapped into :class:`Constant` on insertion.
+    """
+
+    def __init__(self):
+        self.relations: Dict[Signature, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def relation(self, name: str, arity: int) -> Relation:
+        """Get or create the relation for ``(name, arity)``."""
+        sig = (name, arity)
+        rel = self.relations.get(sig)
+        if rel is None:
+            rel = Relation(name, arity)
+            self.relations[sig] = rel
+        return rel
+
+    def add_fact(self, predicate: str, args: Sequence) -> bool:
+        """Insert one fact; plain Python values are wrapped as constants."""
+        wrapped = tuple(a if isinstance(a, Term) else Constant(a) for a in args)
+        for term in wrapped:
+            if not term.is_ground():
+                raise ValueError(f"fact argument {term} is not ground")
+        return self.relation(predicate, len(wrapped)).add(wrapped)
+
+    def add_facts(self, predicate: str, tuples: Iterable[Sequence]) -> int:
+        """Bulk insert; returns the number of new facts."""
+        added = 0
+        for args in tuples:
+            if self.add_fact(predicate, args):
+                added += 1
+        return added
+
+    @classmethod
+    def from_dict(cls, facts: Dict[str, Iterable[Sequence]]) -> "Database":
+        """Build a database from ``{predicate: [tuple, ...]}``."""
+        db = cls()
+        for predicate, tuples in facts.items():
+            db.add_facts(predicate, tuples)
+        return db
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def get(self, name: str, arity: int) -> Optional[Relation]:
+        return self.relations.get((name, arity))
+
+    def facts(self, name: str, arity: Optional[int] = None) -> Set[FactTuple]:
+        """All tuples of a predicate (any arity if unspecified)."""
+        result: Set[FactTuple] = set()
+        for (rel_name, rel_arity), rel in self.relations.items():
+            if rel_name == name and (arity is None or rel_arity == arity):
+                result |= rel.tuples
+        return result
+
+    def has_fact(self, predicate: str, args: Sequence) -> bool:
+        wrapped = tuple(a if isinstance(a, Term) else Constant(a) for a in args)
+        rel = self.relations.get((predicate, len(wrapped)))
+        return rel is not None and wrapped in rel
+
+    def total_facts(self) -> int:
+        return sum(len(rel) for rel in self.relations.values())
+
+    def signatures(self) -> List[Signature]:
+        return list(self.relations)
+
+    def query(self, goal: Literal) -> Set[Tuple[Term, ...]]:
+        """All bindings of ``goal``'s variables against stored facts.
+
+        Returns the set of tuples of values taken by the goal's
+        variables, in first-occurrence order.  A ground goal returns
+        ``{()}`` if it holds and ``set()`` otherwise.
+        """
+        from repro.engine.unify import match
+
+        rel = self.relations.get(goal.signature)
+        if rel is None:
+            return set()
+        goal_vars = goal.variables()
+        answers: Set[Tuple[Term, ...]] = set()
+        for fact in rel:
+            bindings = match(goal, fact, {})
+            if bindings is not None:
+                answers.add(tuple(bindings[v] for v in goal_vars))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Combination and copying
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Database":
+        dup = Database()
+        for sig, rel in self.relations.items():
+            dup.relations[sig] = rel.copy()
+        return dup
+
+    def merge(self, other: "Database") -> "Database":
+        """A new database holding the union of facts."""
+        merged = self.copy()
+        for (name, arity), rel in other.relations.items():
+            target = merged.relation(name, arity)
+            for fact in rel:
+                target.add(fact)
+        return merged
+
+    def restrict(self, signatures: Iterable[Signature]) -> "Database":
+        """A new database containing only the named relations."""
+        keep = set(signatures)
+        out = Database()
+        for sig, rel in self.relations.items():
+            if sig in keep:
+                out.relations[sig] = rel.copy()
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {sig: rel.tuples for sig, rel in self.relations.items() if rel.tuples}
+        theirs = {sig: rel.tuples for sig, rel in other.relations.items() if rel.tuples}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return f"Database({self.total_facts()} facts, {len(self.relations)} relations)"
+
+
+def load_program_facts(program, db: Database) -> int:
+    """Copy ground fact rules from a program into ``db``.
+
+    The paper treats magic seeds (``m_tbf(5).``) as program rules; the
+    evaluators call this so such rules participate as facts.
+    Returns the number of facts added.
+    """
+    added = 0
+    for rule in program.rules:
+        if rule.is_fact():
+            if db.relation(rule.head.predicate, rule.head.arity).add(rule.head.args):
+                added += 1
+    return added

@@ -1,0 +1,71 @@
+"""Naive bottom-up fixpoint evaluation.
+
+Re-evaluates every rule over the full database until no new facts
+appear.  Quadratically redundant, but trivially correct — it is the
+oracle the test suite checks every other evaluator and every program
+transformation against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.datalog.program import Program
+from repro.engine.database import Database, load_program_facts
+from repro.engine.joins import instantiate_head, join_rule
+from repro.engine.stats import EvalStats, NonTerminationError
+
+
+def naive_eval(
+    program: Program,
+    edb: Database,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> Tuple[Database, EvalStats]:
+    """Evaluate ``program`` over ``edb`` to fixpoint, naively.
+
+    Returns ``(database, stats)`` where the database holds EDB and all
+    derived facts.  ``max_iterations``/``max_facts`` guard against the
+    genuinely diverging programs in the paper (Counting on left-linear
+    rules) by raising :class:`NonTerminationError`.
+    """
+    db = edb.copy()
+    stats = EvalStats()
+    start = time.perf_counter()
+    initial = load_program_facts(program, db)
+    stats.facts += initial
+
+    rules = program.proper_rules()
+    changed = True
+    while changed:
+        changed = False
+        stats.iterations += 1
+        if max_iterations is not None and stats.iterations > max_iterations:
+            raise NonTerminationError(
+                f"naive evaluation exceeded {max_iterations} iterations",
+                stats.iterations,
+                stats.facts,
+            )
+        new_facts = []
+        for rule in rules:
+            head = rule.head
+
+            def on_match(bindings, rule=rule, head=head):
+                stats.inferences += 1
+                fact = instantiate_head(rule, bindings)
+                new_facts.append((head.predicate, head.arity, fact))
+
+            join_rule(db, rule, on_match)
+        for predicate, arity, fact in new_facts:
+            if db.relation(predicate, arity).add(fact):
+                stats.record_fact((predicate, arity))
+                changed = True
+                if max_facts is not None and stats.facts > max_facts:
+                    raise NonTerminationError(
+                        f"naive evaluation exceeded {max_facts} facts",
+                        stats.iterations,
+                        stats.facts,
+                    )
+    stats.seconds = time.perf_counter() - start
+    return db, stats

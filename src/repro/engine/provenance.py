@@ -1,0 +1,193 @@
+"""Derivation trees (Definition 2.1) and fact explanation.
+
+The paper's proofs are inductions over derivation trees: a fact's tree
+has the fact at the root, one subtree per body literal of the rule
+instance that derived it, and EDB facts at the leaves.  This module
+materializes them: :func:`explain` returns a minimal-height derivation
+tree for a derived fact, built from a provenance-recording evaluation.
+
+Trees are also how a library user audits an answer ("why is 7
+reachable?"), so the module doubles as the provenance feature of the
+engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.engine.database import Database, FactTuple, load_program_facts
+from repro.engine.joins import instantiate_head, join_rule
+from repro.engine.stats import EvalStats, NonTerminationError
+
+Signature = Tuple[str, int]
+FactKey = Tuple[str, int, FactTuple]
+
+
+@dataclass
+class DerivationTree:
+    """One node of a derivation tree (Definition 2.1)."""
+
+    fact: Literal
+    #: the rule whose instance derived this fact; None for EDB leaves
+    rule: Optional[Rule] = None
+    children: Tuple["DerivationTree", ...] = ()
+
+    def height(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def leaves(self) -> List[Literal]:
+        if not self.children:
+            return [self.fact]
+        out: List[Literal] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """An ASCII rendering, facts indented by derivation depth."""
+        pad = "  " * indent
+        label = f"{pad}{self.fact}"
+        if self.rule is not None:
+            label += f"    [via {self.rule}]"
+        lines = [label]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class ProvenanceResult:
+    """Database plus one recorded derivation per derived fact."""
+
+    database: Database
+    stats: EvalStats
+    #: fact -> (rule, body fact keys) for the first derivation found
+    derivations: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]]
+    edb_keys: set
+
+    def explain(self, fact: Literal) -> DerivationTree:
+        """A derivation tree for a ground fact (Definition 2.1).
+
+        Raises ``KeyError`` when the fact is not in the least model.
+        The recorded derivation is the *first* found by the semi-naive
+        iteration, which is height-minimal up to ties (facts are
+        derived round by round).
+        """
+        if not fact.is_ground():
+            raise ValueError(f"fact {fact} is not ground")
+        key = (fact.predicate, fact.arity, fact.args)
+        return self._build(key, seen=set())
+
+    def _build(self, key: FactKey, seen: set) -> DerivationTree:
+        predicate, arity, args = key
+        fact = Literal(predicate, args)
+        if key in self.edb_keys:
+            return DerivationTree(fact)
+        if key in seen:
+            raise RuntimeError(f"cyclic derivation record for {fact}")
+        entry = self.derivations.get(key)
+        if entry is None:
+            raise KeyError(f"no derivation recorded for {fact}")
+        rule, body_keys = entry
+        children = tuple(self._build(k, seen | {key}) for k in body_keys)
+        return DerivationTree(fact, rule, children)
+
+
+def provenance_eval(
+    program: Program,
+    edb: Database,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> ProvenanceResult:
+    """Naive-order fixpoint that records one derivation per new fact.
+
+    Facts derived in round ``r`` record bodies from rounds ``< r`` (the
+    synchronous schedule), so recorded derivations are acyclic and
+    height-minimal round-wise — exactly the trees the paper's
+    inductions walk.
+    """
+    db = edb.copy()
+    stats = EvalStats()
+    start = time.perf_counter()
+    edb_keys = {
+        (sig[0], sig[1], fact)
+        for sig, rel in edb.relations.items()
+        for fact in rel
+    }
+    derivations: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]] = {}
+    seed_count = load_program_facts(program, db)
+    stats.facts += seed_count
+    for rule in program.rules:
+        if rule.is_fact():
+            key = (rule.head.predicate, rule.head.arity, rule.head.args)
+            if key not in edb_keys:
+                derivations.setdefault(key, (rule, ()))
+
+    rules = program.proper_rules()
+    changed = True
+    while changed:
+        changed = False
+        stats.iterations += 1
+        if max_iterations is not None and stats.iterations > max_iterations:
+            raise NonTerminationError(
+                f"provenance evaluation exceeded {max_iterations} iterations",
+                stats.iterations,
+                stats.facts,
+            )
+        pending: List[Tuple[FactKey, Rule, Tuple[FactKey, ...]]] = []
+        for rule in rules:
+            def on_match(bindings, rule=rule):
+                stats.inferences += 1
+                head_fact = instantiate_head(rule, bindings)
+                key = (rule.head.predicate, rule.head.arity, head_fact)
+                if key in derivations or key in edb_keys:
+                    return
+                rel = db.get(rule.head.predicate, rule.head.arity)
+                if rel is not None and head_fact in rel:
+                    return
+                body_keys = []
+                for literal in rule.body:
+                    from repro.engine.joins import _resolve
+
+                    args = tuple(_resolve(a, bindings) for a in literal.args)
+                    body_keys.append((literal.predicate, literal.arity, args))
+                pending.append((key, rule, tuple(body_keys)))
+
+            join_rule(db, rule, on_match)
+        for key, rule, body_keys in pending:
+            predicate, arity, args = key
+            if db.relation(predicate, arity).add(args):
+                derivations[key] = (rule, body_keys)
+                stats.record_fact((predicate, arity))
+                changed = True
+                if max_facts is not None and stats.facts > max_facts:
+                    raise NonTerminationError(
+                        f"provenance evaluation exceeded {max_facts} facts",
+                        stats.iterations,
+                        stats.facts,
+                    )
+    stats.seconds = time.perf_counter() - start
+    return ProvenanceResult(
+        database=db, stats=stats, derivations=derivations, edb_keys=edb_keys
+    )
+
+
+def explain(
+    program: Program, edb: Database, fact: Literal, **kwargs
+) -> DerivationTree:
+    """One-shot: evaluate with provenance and explain ``fact``."""
+    return provenance_eval(program, edb, **kwargs).explain(fact)

@@ -1,0 +1,63 @@
+"""Evaluation statistics and engine errors.
+
+Every evaluator returns an :class:`EvalStats` alongside its database.
+The two quantities the paper reasons about are:
+
+* ``facts`` — distinct derived facts; bounded by ``n**k`` where ``k``
+  is the predicate arity, which is exactly the bound factoring improves
+  by reducing ``k`` (Section 1);
+* ``inferences`` — successful rule instantiations, including ones that
+  rederive a known fact; the per-step cost of semi-naive evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class NonTerminationError(RuntimeError):
+    """Raised when a fixpoint exceeds its iteration or fact budget.
+
+    The Counting transformation applied to programs with left-linear
+    rules produces exactly this behaviour (Section 6.4); the error is
+    how benchmarks observe "Counting diverges".
+    """
+
+    def __init__(self, message: str, iterations: int, facts: int):
+        super().__init__(message)
+        self.iterations = iterations
+        self.facts = facts
+
+
+@dataclass
+class EvalStats:
+    """Counters produced by one evaluator run."""
+
+    facts: int = 0
+    inferences: int = 0
+    iterations: int = 0
+    seconds: float = 0.0
+    per_predicate: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    def record_fact(self, signature: Tuple[str, int]) -> None:
+        self.facts += 1
+        self.per_predicate[signature] = self.per_predicate.get(signature, 0) + 1
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        merged = EvalStats(
+            facts=self.facts + other.facts,
+            inferences=self.inferences + other.inferences,
+            iterations=self.iterations + other.iterations,
+            seconds=self.seconds + other.seconds,
+            per_predicate=dict(self.per_predicate),
+        )
+        for sig, count in other.per_predicate.items():
+            merged.per_predicate[sig] = merged.per_predicate.get(sig, 0) + count
+        return merged
+
+    def __str__(self) -> str:
+        return (
+            f"facts={self.facts} inferences={self.inferences} "
+            f"iterations={self.iterations} seconds={self.seconds:.4f}"
+        )

@@ -1,0 +1,228 @@
+"""A user-facing deductive-database session.
+
+:class:`DeductiveDatabase` is the convenience layer a downstream
+application uses: load rules, assert facts, and ask queries.  Each
+query is planned through the paper's pipeline — adornment, Magic Sets,
+factorability analysis, factoring, Section 5 simplification — and
+evaluated semi-naively; plans are cached per query *form* (predicate +
+binding pattern), so repeated queries with different constants reuse
+the compiled program.
+
+    db = DeductiveDatabase()
+    db.rules(\"\"\"
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Y) :- edge(X, W), reach(W, Y).
+    \"\"\")
+    db.fact("edge", 1, 2)
+    for (y,) in db.ask("reach(1, Y)"):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.pipeline import OptimizationResult, optimize
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.engine.database import Database
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import EvalStats
+
+
+@dataclass
+class QueryReport:
+    """What `ask` did: the plan used and the evaluation cost."""
+
+    goal: Literal
+    strategy: str  # "factored" | "magic"
+    certified_by: Optional[str]
+    stats: EvalStats
+    answers: Set[Tuple]
+
+
+class DeductiveDatabase:
+    """Rules + facts + an optimizing query interface."""
+
+    def __init__(self, use_instance_checks: bool = True):
+        self._rules: List = []
+        self._program: Optional[Program] = None
+        self._edb = Database()
+        #: plan cache keyed by (predicate, arity, adornment string)
+        self._plans: Dict[Tuple[str, int, str], OptimizationResult] = {}
+        self._use_instance_checks = use_instance_checks
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def rules(self, text: str) -> "DeductiveDatabase":
+        """Add rules (Datalog text).  Ground facts load into the EDB."""
+        program = parse_program(text)
+        for rule in program.rules:
+            if rule.is_fact():
+                self._edb.relation(
+                    rule.head.predicate, rule.head.arity
+                ).add(rule.head.args)
+            else:
+                self._rules.append(rule)
+        self._program = None
+        self._plans.clear()
+        return self
+
+    def fact(self, predicate: str, *args) -> "DeductiveDatabase":
+        """Assert one EDB fact; plain Python values are accepted."""
+        self._edb.add_fact(predicate, args)
+        return self
+
+    def facts(self, predicate: str, rows: Iterable[Sequence]) -> "DeductiveDatabase":
+        self._edb.add_facts(predicate, rows)
+        return self
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = Program(self._rules)
+        return self._program
+
+    @property
+    def edb(self) -> Database:
+        return self._edb
+
+    # ------------------------------------------------------------------
+    # Mixed EDB/IDB predicates
+    # ------------------------------------------------------------------
+
+    def _effective(self) -> Tuple[Program, Database]:
+        """Bridge predicates that have both rules and stored facts.
+
+        A predicate defined by rules *and* carrying stored facts (e.g.
+        ``likes`` with base facts plus derivation rules) is split: the
+        stored relation is exposed as ``pred__base`` and an exit rule
+        ``pred(V̄) :- pred__base(V̄)`` is added, so the optimizer sees a
+        clean IDB/EDB separation.
+        """
+        program = self.program
+        overlap = [
+            sig for sig in program.idb_signatures if self._edb.get(*sig)
+        ]
+        if not overlap:
+            return program, self._edb
+        bridged_rules = list(program.rules)
+        edb_view = Database()
+        for sig, rel in self._edb.relations.items():
+            if sig in overlap:
+                base = edb_view.relation(f"{sig[0]}__base", sig[1])
+                for fact in rel:
+                    base.add(fact)
+            else:
+                edb_view.relations[sig] = rel.copy()
+        for name, arity in overlap:
+            variables = tuple(Variable(f"V{i}") for i in range(arity))
+            bridged_rules.append(
+                Rule(
+                    Literal(name, variables),
+                    (Literal(f"{name}__base", variables),),
+                )
+            )
+        return Program(bridged_rules), edb_view
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def _plan(self, goal: Literal) -> OptimizationResult:
+        from repro.analysis.adornment import adornment_from_query
+
+        adornment = str(adornment_from_query(goal))
+        key = (goal.predicate, goal.arity, adornment)
+        plan = self._plans.get(key)
+        if plan is None or self._needs_replan(plan, goal):
+            program, edb_view = self._effective()
+            plan = optimize(
+                program,
+                goal,
+                edb=edb_view if self._use_instance_checks else None,
+            )
+            self._plans[key] = plan
+        return plan
+
+    def _needs_replan(self, plan: OptimizationResult, goal: Literal) -> bool:
+        """Replan when the cached plan's query constants differ.
+
+        The compiled magic seed embeds the constants, so a different
+        selection needs a fresh plan (the analysis outcome is shared
+        conceptually, but plans are cheap at rule scale).
+        """
+        return plan.goal != goal
+
+    def ask(self, query: str, explain: bool = False):
+        """Answer a query, e.g. ``db.ask("reach(1, Y)")``.
+
+        Returns a set of tuples of Python values (one per variable, in
+        first-occurrence order), or a :class:`QueryReport` with the
+        plan and statistics when ``explain=True``.
+        """
+        goal = parse_query(query)
+        plan = self._plan(goal)
+        _, edb_view = self._effective()
+        answers, stats = plan.answers(edb_view)
+        unwrapped = {
+            tuple(t.value if isinstance(t, Constant) else t for t in row)
+            for row in answers
+        }
+        if not explain:
+            return unwrapped
+        return QueryReport(
+            goal=goal,
+            strategy="factored" if plan.simplified is not None else "magic",
+            certified_by=plan.report.certified_by if plan.report else None,
+            stats=stats,
+            answers=unwrapped,
+        )
+
+    def holds(self, query: str) -> bool:
+        """True when a ground query has a derivation."""
+        return bool(self.ask(query))
+
+    def explain(self, query: str) -> QueryReport:
+        return self.ask(query, explain=True)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def compiled_program(self, query: str) -> Program:
+        """The optimized program that would answer ``query``."""
+        return self._plan(parse_query(query)).best_program()
+
+    def plan_summary(self, query: str) -> str:
+        """A human-readable account of the optimization decisions."""
+        plan = self._plan(parse_query(query))
+        lines = [f"query: {plan.goal}"]
+        if plan.reduction is not None:
+            lines.append(
+                f"static-argument reduction removed positions "
+                f"{list(plan.reduction.removed_positions)}"
+            )
+        if plan.classification is not None:
+            lines.append(
+                "classification: "
+                + ", ".join(
+                    rc.rule_class.value for rc in plan.classification.rules
+                )
+            )
+        if plan.report is not None and plan.report.certified_by:
+            lines.append(f"factorable: yes — {plan.report.certified_by}")
+        elif plan.report is not None:
+            lines.append("factorable: no — falling back to Magic Sets")
+        else:
+            lines.append("factorable: not applicable — Magic Sets only")
+        lines.append("compiled program:")
+        for rule in plan.best_program():
+            lines.append(f"  {rule}")
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""The Magic Sets transformation (Section 2.1; [2, 3, 10]).
+
+Given an adorned program and the query goal, this produces ``P^mg``:
+
+* a **magic seed** — the ground bound arguments of the query;
+* for every adorned rule and every derived body literal ``q^b`` at
+  position ``i``, a **magic rule**
+  ``m_q^b(bound args of q) :- m_p^a(head bound args), B_1 .. B_{i-1}``
+  (the left-to-right SIP: everything before the occurrence passes
+  information);
+* every original rule **modified** by the guard
+  ``m_p^a(head bound args)`` prepended to its body;
+* the paper-style ``query`` rule over the adorned goal.
+
+Function symbols are supported (Example 4.6's ``pmem`` program): magic
+facts are arbitrary ground terms, exactly the "magic templates" view of
+[10] restricted to ground tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.adornment import (
+    AdornedProgram,
+    Adornment,
+    adorn,
+    split_adorned_name,
+)
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term, Variable, term_variables
+
+QUERY_PREDICATE = "query"
+MAGIC_PREFIX = "m_"
+
+
+def magic_name(adorned_predicate: str) -> str:
+    """The magic predicate for an adorned predicate (``m_p@bf``)."""
+    return f"{MAGIC_PREFIX}{adorned_predicate}"
+
+
+def _bound_args(literal: Literal, adornment: Adornment) -> Tuple[Term, ...]:
+    return tuple(literal.args[i] for i in adornment.bound_positions())
+
+
+@dataclass
+class MagicResult:
+    """``P^mg`` plus the bookkeeping the factoring stage needs."""
+
+    program: Program
+    #: the adorned query goal, e.g. ``t@bf(5, Y)``
+    goal: Literal
+    #: the magic seed fact, e.g. ``m_t@bf(5)``
+    seed: Literal
+    #: the paper-style answer rule head, e.g. ``query(Y)``
+    query_head: Literal
+    #: original -> adorned bookkeeping
+    adorned: AdornedProgram
+    #: adornment for each adorned predicate name appearing in the program
+    adornments: Dict[str, Adornment]
+
+    def answers(self, db) -> Set[Tuple[Term, ...]]:
+        """Query-variable bindings present in an evaluated database."""
+        return db.query(self.query_head)
+
+
+def magic_sets(adorned: AdornedProgram) -> MagicResult:
+    """Apply Magic Sets to an adorned program.
+
+    The result contains the seed as a fact rule, all magic rules, all
+    modified rules, and the rule ``query(free vars) :- goal`` that the
+    paper carries through its examples (and that factoring rewrites).
+    """
+    program = adorned.program
+    goal = adorned.goal
+    idb_names: Dict[str, Adornment] = {}
+    for rule in program.rules:
+        base, adn = split_adorned_name(rule.head.predicate)
+        if adn is None:
+            raise ValueError(f"rule head {rule.head} is not an adorned predicate")
+        idb_names[rule.head.predicate] = adn
+
+    goal_base, goal_adn = split_adorned_name(goal.predicate)
+    if goal_adn is None:
+        raise ValueError(f"goal {goal} is not adorned")
+
+    rules: List[Rule] = []
+
+    # Seed: the ground bound arguments of the query.
+    seed_args = _bound_args(goal, goal_adn)
+    for arg in seed_args:
+        if not arg.is_ground():
+            raise ValueError(f"bound query argument {arg} is not ground")
+    seed = Literal(magic_name(goal.predicate), seed_args)
+    rules.append(Rule(seed, ()))
+
+    for rule in program.rules:
+        head_adn = idb_names[rule.head.predicate]
+        guard = Literal(
+            magic_name(rule.head.predicate), _bound_args(rule.head, head_adn)
+        )
+        # Magic rules: one per derived body occurrence.
+        for i, literal in enumerate(rule.body):
+            body_adn = idb_names.get(literal.predicate)
+            if body_adn is None:
+                continue  # EDB literal
+            magic_head = Literal(
+                magic_name(literal.predicate), _bound_args(literal, body_adn)
+            )
+            magic_body = (guard, *rule.body[:i])
+            rules.append(Rule(magic_head, magic_body))
+        # Modified rule: original body guarded by the magic literal.
+        rules.append(Rule(rule.head, (guard, *rule.body)))
+
+    # The paper-style answer rule: query(Ȳ) :- p^a(x̄0, Ȳ).
+    free_vars = term_variables(
+        [goal.args[i] for i in goal_adn.free_positions()]
+    )
+    query_head = Literal(QUERY_PREDICATE, tuple(free_vars))
+    rules.append(Rule(query_head, (goal,)))
+
+    return MagicResult(
+        program=Program(rules),
+        goal=goal,
+        seed=seed,
+        query_head=query_head,
+        adorned=adorned,
+        adornments=idb_names,
+    )
+
+
+def magic_transform(program: Program, goal: Literal) -> MagicResult:
+    """Convenience: adorn then apply Magic Sets in one call."""
+    return magic_sets(adorn(program, goal))

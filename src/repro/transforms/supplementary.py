@@ -1,0 +1,122 @@
+"""Supplementary Magic Sets (the Beeri-Ramakrishnan refinement of [3]).
+
+Plain Magic Sets re-evaluates each rule-body prefix once per magic rule
+and once in the modified rule.  The supplementary variant materializes
+the prefixes as *supplementary predicates*::
+
+    sup_{r,0}(X̄)  :- m_p(X̄).
+    sup_{r,i}(V̄i) :- sup_{r,i-1}(V̄{i-1}), B_i.
+    m_q(bound(B_{i+1})) :- sup_{r,i}(V̄i).          (per derived B_{i+1})
+    p(head)       :- sup_{r,n}(V̄n).
+
+where ``V̄i`` keeps exactly the variables needed later (by the head or
+by literals after position ``i``).  The transformation shares prefix
+work between magic rules and the modified rule at the cost of extra
+intermediate relations — the trade-off the ablation benchmark
+(``benchmarks/bench_ablation.py``) measures against plain Magic.
+
+Supplementary predicates are only introduced for rules with at least
+one derived body literal; other rules keep the plain form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.adornment import AdornedProgram, Adornment, split_adorned_name
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term, Variable, term_variables
+from repro.transforms.magic import MagicResult, QUERY_PREDICATE, magic_name
+
+
+def _bound_args(literal: Literal, adornment: Adornment) -> Tuple[Term, ...]:
+    return tuple(literal.args[i] for i in adornment.bound_positions())
+
+
+def supplementary_magic_sets(adorned: AdornedProgram) -> MagicResult:
+    """Apply the supplementary-predicate Magic Sets rewriting.
+
+    Returns a :class:`MagicResult` (same shape as plain
+    :func:`repro.transforms.magic.magic_sets`) so the two are
+    interchangeable downstream.
+    """
+    program = adorned.program
+    goal = adorned.goal
+    idb_names: Dict[str, Adornment] = {}
+    for rule in program.rules:
+        base, adn = split_adorned_name(rule.head.predicate)
+        if adn is None:
+            raise ValueError(f"rule head {rule.head} is not an adorned predicate")
+        idb_names[rule.head.predicate] = adn
+
+    goal_base, goal_adn = split_adorned_name(goal.predicate)
+    if goal_adn is None:
+        raise ValueError(f"goal {goal} is not adorned")
+
+    rules: List[Rule] = []
+    seed_args = _bound_args(goal, goal_adn)
+    for arg in seed_args:
+        if not arg.is_ground():
+            raise ValueError(f"bound query argument {arg} is not ground")
+    seed = Literal(magic_name(goal.predicate), seed_args)
+    rules.append(Rule(seed, ()))
+
+    for rule_index, rule in enumerate(program.rules):
+        head_adn = idb_names[rule.head.predicate]
+        guard = Literal(
+            magic_name(rule.head.predicate), _bound_args(rule.head, head_adn)
+        )
+        derived_positions = [
+            i for i, lit in enumerate(rule.body) if lit.predicate in idb_names
+        ]
+        if not derived_positions:
+            rules.append(Rule(rule.head, (guard, *rule.body)))
+            continue
+
+        # Variables needed strictly after body position i (head included).
+        needed_after: List[Set[Variable]] = []
+        future: Set[Variable] = set(rule.head.iter_variables())
+        for literal in reversed(rule.body):
+            needed_after.insert(0, set(future))
+            future |= set(literal.iter_variables())
+
+        sup_base = f"sup~{rule.head.predicate}~{rule_index}"
+        bound_vars = term_variables(_bound_args(rule.head, head_adn))
+        previous = Literal(f"{sup_base}~0", tuple(bound_vars))
+        rules.append(Rule(previous, (guard,)))
+
+        available: Set[Variable] = set(bound_vars)
+        for i, literal in enumerate(rule.body):
+            if literal.predicate in idb_names:
+                body_adn = idb_names[literal.predicate]
+                magic_head = Literal(
+                    magic_name(literal.predicate), _bound_args(literal, body_adn)
+                )
+                rules.append(Rule(magic_head, (previous,)))
+            available |= set(literal.iter_variables())
+            keep = [
+                v
+                for v in term_variables(
+                    [*previous.args, *literal.args]
+                )
+                if v in needed_after[i] and v in available
+            ]
+            next_sup = Literal(f"{sup_base}~{i + 1}", tuple(keep))
+            rules.append(Rule(next_sup, (previous, literal)))
+            previous = next_sup
+        rules.append(Rule(rule.head, (previous,)))
+
+    free_vars = term_variables([goal.args[i] for i in goal_adn.free_positions()])
+    query_head = Literal(QUERY_PREDICATE, tuple(free_vars))
+    rules.append(Rule(query_head, (goal,)))
+
+    return MagicResult(
+        program=Program(rules),
+        goal=goal,
+        seed=seed,
+        query_head=query_head,
+        adorned=adorned,
+        adornments=idb_names,
+    )

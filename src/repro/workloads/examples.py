@@ -1,0 +1,230 @@
+"""The paper's worked examples, as parsed programs and EDB generators.
+
+Each function is named for the example it reproduces; the benchmark
+index in DESIGN.md maps them to experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.program import Program
+from repro.engine.database import Database
+
+
+def three_rule_tc_program() -> Program:
+    """Example 1.1 / 4.2: transitive closure with all three rule forms."""
+    return parse_program(
+        """
+        t(X, Y) :- t(X, W), t(W, Y).
+        t(X, Y) :- e(X, W), t(W, Y).
+        t(X, Y) :- t(X, W), e(W, Y).
+        t(X, Y) :- e(X, Y).
+        """
+    )
+
+
+def three_rule_tc_query(source: int = 5) -> Literal:
+    return parse_query(f"t({source}, Y)")
+
+
+def example_43_program() -> Program:
+    """Example 4.3: the selection-pushing illustration program."""
+    return parse_program(
+        """
+        p(X, Y) :- l1(X), p(X, U), c1(U, V), p(V, Y), r1(Y).
+        p(X, Y) :- l2(X), p(X, U), c2(U, V), p(V, Y), r2(Y).
+        p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+        p(X, Y) :- e(X, Y).
+        """
+    )
+
+
+def example_43_edb(n: int = 30, seed: int = 7) -> Database:
+    """A random EDB *satisfying* Example 4.3's semantic conditions.
+
+    The run-time conditions require: ``free_exit ⊆ r1, r2, r3`` (every
+    second column of ``e`` appears in every ``r``), ``l1 ≡ l2`` as used,
+    and ``bound_first ⊆ l1`` (every first column of ``f`` is in ``l1``).
+    Satisfying them by construction makes the factored program correct
+    on this instance, which the tests verify against Magic.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    nodes = list(range(n))
+    e_edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)}
+    db.add_facts("e", e_edges)
+    # free_exit = second column of e; include it in every r.
+    targets = {b for (_, b) in e_edges}
+    for rel in ("r1", "r2", "r3"):
+        db.add_facts(rel, ((b,) for b in targets))
+    # l1 and l2 identical; all sources qualify.
+    sources = set(nodes)
+    for rel in ("l1", "l2"):
+        db.add_facts(rel, ((s,) for s in sources))
+    db.add_facts("f", {(rng.randrange(n), rng.randrange(n)) for _ in range(n)})
+    # bound_first ⊆ l1 holds because l1 is total.
+    db.add_facts("c1", {(rng.randrange(n), rng.randrange(n)) for _ in range(n)})
+    db.add_facts("c2", {(rng.randrange(n), rng.randrange(n)) for _ in range(n)})
+    return db
+
+
+def example_43_violating_edbs() -> Dict[str, Tuple[Database, Literal]]:
+    """The two counterexample EDBs from the text of Example 4.3.
+
+    ``bound_first``: violates "bound_first contained in l1" — the
+    factored program wrongly derives answer 8.
+    ``free_exit``: violates "free_exit contained in r1" — the factored
+    program wrongly derives ``fp(7)``.
+    Both use the query ``p(5, Y)``.
+    """
+    goal = parse_query("p(5, Y)")
+    violate_bound_first = Database.from_dict(
+        {
+            "f": [(5, 1)],
+            "e": [(5, 6), (1, 7), (2, 8)],
+            "l1": [(1,)],
+            "c1": [(6, 2)],
+            "r1": [(7,), (8,)],
+        }
+    )
+    violate_free_exit = Database.from_dict(
+        {
+            "f": [(5, 1)],
+            "e": [(5, 6), (1, 7)],
+            "l1": [(5,)],
+            "c1": [(6, 1)],
+        }
+    )
+    return {
+        "bound_first": (violate_bound_first, goal),
+        "free_exit": (violate_free_exit, goal),
+    }
+
+
+def example_44_program() -> Program:
+    """Example 4.4: the symmetric-program illustration."""
+    return parse_program(
+        """
+        p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+        p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+        p(X, Y) :- e(X, Y).
+        """
+    )
+
+
+def example_44_edb(n: int = 20, seed: int = 11) -> Database:
+    """An EDB satisfying Example 4.4's run-time conditions."""
+    rng = random.Random(seed)
+    db = Database()
+    e_edges = {(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)}
+    # Guarantee the query source (5) has exit answers.
+    e_edges |= {(5, rng.randrange(n)) for _ in range(3)}
+    db.add_facts("e", e_edges)
+    targets = {b for (_, b) in e_edges}
+    for rel in ("r1", "r2"):
+        db.add_facts(rel, ((b,) for b in targets))
+    for rel in ("l1", "l2"):
+        db.add_facts(rel, ((s,) for s in range(n)))
+    db.add_facts(
+        "c",
+        {
+            (rng.randrange(n), rng.randrange(n), rng.randrange(n))
+            for _ in range(2 * n)
+        },
+    )
+    return db
+
+
+def example_45_program() -> Program:
+    """Example 4.5: the answer-propagating illustration."""
+    return parse_program(
+        """
+        p(X, Y) :- l1(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r1(Y).
+        p(X, Y) :- l2(X), p(X, U), p(X, V), c(U, V, W), p(W, Y), r2(Y).
+        p(X, Y) :- f(X, V), p(V, Y), r3(Y).
+        p(X, Y) :- e(X, Y).
+        """
+    )
+
+
+def example_45_edb(n: int = 20, seed: int = 13) -> Database:
+    """An EDB satisfying Example 4.5's run-time conditions."""
+    db = example_44_edb(n, seed)
+    rng = random.Random(seed + 1)
+    db.add_facts("f", {(rng.randrange(n), rng.randrange(n)) for _ in range(n)})
+    for (_, b) in db.relations[("e", 2)].tuples:
+        db.add_fact("r3", (b,))
+    return db
+
+
+def example_51_program() -> Program:
+    """Example 5.1: a static first argument blocks classification."""
+    return parse_program(
+        """
+        p(X, Y, Z) :- a(X), p(X, Y, W), d(W, U), p(X, U, Z).
+        p(X, Y, Z) :- exit(X, Y, Z).
+        """
+    )
+
+
+def example_52_program() -> Program:
+    """Example 5.2: a pseudo-left-linear rule (Definition 5.3)."""
+    return parse_program(
+        """
+        p(X, Y, Z) :- p(X, Y, W), d(W, X, Z).
+        p(X, Y, Z) :- exit(X, Y, Z).
+        """
+    )
+
+
+def example_71_program() -> Program:
+    """Example 7.1: factoring the factored output again (future work)."""
+    return parse_program(
+        """
+        t(X, Y, Z) :- t(X, U, W), b(U, Y), d(Z).
+        t(X, Y, Z) :- e(X, Y, Z).
+        """
+    )
+
+
+def same_generation_program() -> Program:
+    """The canonical non-factorable program (Section 6.4's remark)."""
+    return parse_program(
+        """
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        sg(X, Y) :- flat(X, Y).
+        """
+    )
+
+
+def same_generation_edb(depth: int = 5, branching: int = 2) -> Database:
+    """A balanced tree with sibling ``flat`` links at every level.
+
+    Same-generation facts then propagate from any level downward, so a
+    query on a deep node (e.g. the last leaf) has answers reachable
+    through the recursion, not just through ``flat`` directly.
+    """
+    from repro.workloads.graphs import tree_edb
+
+    db = tree_edb(depth, branching)
+    children_of: Dict[int, List[int]] = {}
+    for (child, parent) in db.relations[("up", 2)].tuples:
+        children_of.setdefault(parent.value, []).append(child.value)
+    for siblings in children_of.values():
+        siblings.sort()
+        for a, b in zip(siblings, siblings[1:]):
+            db.add_fact("flat", (a, b))
+    return db
+
+
+def same_generation_query_node(depth: int = 5, branching: int = 2) -> int:
+    """The first node at the deepest level of :func:`same_generation_edb`.
+
+    Nodes are numbered breadth-first from the root 0, so the first node
+    of level ``depth`` is the number of nodes on levels ``0..depth-1``.
+    """
+    return sum(branching ** level for level in range(depth))

@@ -1,0 +1,102 @@
+"""Graph EDB generators for the transitive-closure experiments.
+
+All generators fill a binary edge relation (default name ``e``) over
+integer vertices ``0..n-1`` and return a
+:class:`repro.engine.database.Database`.  Randomness is seeded for
+reproducibility — the benchmark tables must be regenerable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from repro.engine.database import Database
+
+
+def chain_edb(n: int, relation: str = "e") -> Database:
+    """A simple path ``0 -> 1 -> ... -> n-1``.
+
+    The canonical workload for the O(n) vs O(n^2) separation: from a
+    single source, transitive closure has n-1 answers but the binary
+    ``t`` relation over all sources has ~n^2/2 tuples.
+    """
+    db = Database()
+    db.add_facts(relation, ((i, i + 1) for i in range(n - 1)))
+    return db
+
+
+def cycle_edb(n: int, relation: str = "e") -> Database:
+    """A directed cycle over ``n`` vertices."""
+    db = Database()
+    db.add_facts(relation, ((i, (i + 1) % n) for i in range(n)))
+    return db
+
+
+def complete_edb(n: int, relation: str = "e") -> Database:
+    """The complete digraph (no self-loops) — the dense extreme."""
+    db = Database()
+    db.add_facts(
+        relation, ((i, j) for i in range(n) for j in range(n) if i != j)
+    )
+    return db
+
+
+def random_digraph_edb(
+    n: int,
+    edges: Optional[int] = None,
+    seed: int = 0,
+    relation: str = "e",
+) -> Database:
+    """A random digraph with ``edges`` distinct edges (default ``2n``)."""
+    rng = random.Random(seed)
+    target = edges if edges is not None else 2 * n
+    seen = set()
+    while len(seen) < target and len(seen) < n * (n - 1):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            seen.add((u, v))
+    db = Database()
+    db.add_facts(relation, seen)
+    return db
+
+
+def tree_edb(
+    depth: int,
+    branching: int = 2,
+    up_relation: str = "up",
+    down_relation: str = "down",
+) -> Database:
+    """A balanced tree with ``up`` (child -> parent) and ``down`` edges.
+
+    The same-generation workload (experiment E8): nodes are numbered
+    breadth-first from the root 0.
+    """
+    db = Database()
+    next_id = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = next_id
+                next_id += 1
+                db.add_fact(up_relation, (child, parent))
+                db.add_fact(down_relation, (parent, child))
+                new_frontier.append(child)
+        frontier = new_frontier
+    return db
+
+
+def grid_edb(rows: int, cols: int, relation: str = "e") -> Database:
+    """A directed grid (right and down edges), vertex ``(r, c) -> r*cols+c``."""
+    db = Database()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                db.add_fact(relation, (v, v + 1))
+            if r + 1 < rows:
+                db.add_fact(relation, (v, v + cols))
+    return db

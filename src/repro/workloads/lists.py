@@ -1,0 +1,43 @@
+"""List workloads for the ``pmem`` experiments (Examples 1.2 / 4.6)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.terms import Constant, Variable, make_list
+from repro.engine.database import Database
+
+PMEM_TEXT = """
+pmem(X, [X | T]) :- p(X).
+pmem(X, [H | T]) :- pmem(X, T).
+"""
+
+
+def pmem_program() -> Program:
+    """The augmented member procedure of Example 1.2."""
+    return parse_program(PMEM_TEXT)
+
+
+def pmem_edb(
+    n: int, satisfying: Optional[Sequence[int]] = None
+) -> Database:
+    """The unary ``p`` relation over elements ``0..n-1``.
+
+    ``satisfying`` lists the elements for which ``p`` holds; the
+    default — all of them — is the paper's worst case ("if all members
+    of the given list satisfy the predicate p, Prolog will compute the
+    O(n^2) facts").
+    """
+    members = range(n) if satisfying is None else satisfying
+    db = Database()
+    db.add_facts("p", ((x,) for x in members))
+    return db
+
+
+def pmem_query(n: int) -> Literal:
+    """The goal ``pmem(X, [x0, x1, ..., x_{n-1}])``."""
+    elements = [Constant(i) for i in range(n)]
+    return Literal("pmem", (Variable("X"), make_list(elements)))

@@ -1,0 +1,169 @@
+"""Random unit-program generation for fuzzing the factoring pipeline.
+
+:func:`random_rlc_program` draws programs from a grammar whose every
+production is RLC-stable *and* syntactically selection-pushing: rules
+have empty ``left``/``right`` conjunctions (the conditions of
+Definition 4.6 then hold trivially), so Theorem 4.1 promises the
+factored Magic program is answer-equivalent on **every** database.
+The fuzz tests exploit exactly that: generate a program, certify it,
+and compare all pipeline stages against the naive-evaluation oracle on
+random EDBs.
+
+A second generator, :func:`random_program`, drops the class guarantees
+(shifting occurrences, extra conjunctions) to exercise the *rejection*
+paths of the classifier.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.engine.database import Database
+
+_X, _Y = Variable("X"), Variable("Y")
+
+
+def _edb_name(rng: random.Random, pool: int) -> str:
+    return f"e{rng.randrange(pool)}"
+
+
+def random_rlc_program(
+    seed: int,
+    rules: int = 3,
+    edb_pool: int = 3,
+    predicate: str = "p",
+) -> Program:
+    """A random RLC-stable, selection-pushing unit program.
+
+    ``rules`` recursive rules drawn from {left-linear, right-linear,
+    combined, nonlinear-combined} plus one exit rule.  All conjunctions
+    that Definition 4.6 constrains are empty, so the program is
+    certified syntactically.
+    """
+    rng = random.Random(seed)
+    out: List[Rule] = []
+    for _ in range(max(1, rules)):
+        shape = rng.choice(("left", "right", "combined", "nonlinear"))
+        w, u, v = Variable("W"), Variable("U"), Variable("V")
+        p = predicate
+        if shape == "left":
+            # p(X, Y) :- p(X, W), e_i(W, Y).
+            out.append(
+                Rule(
+                    Literal(p, (_X, _Y)),
+                    (
+                        Literal(p, (_X, w)),
+                        Literal(_edb_name(rng, edb_pool), (w, _Y)),
+                    ),
+                )
+            )
+        elif shape == "right":
+            # p(X, Y) :- e_i(X, V), p(V, Y).
+            out.append(
+                Rule(
+                    Literal(p, (_X, _Y)),
+                    (
+                        Literal(_edb_name(rng, edb_pool), (_X, v)),
+                        Literal(p, (v, _Y)),
+                    ),
+                )
+            )
+        elif shape == "combined":
+            # p(X, Y) :- p(X, U), e_i(U, V), p(V, Y).
+            out.append(
+                Rule(
+                    Literal(p, (_X, _Y)),
+                    (
+                        Literal(p, (_X, u)),
+                        Literal(_edb_name(rng, edb_pool), (u, v)),
+                        Literal(p, (v, _Y)),
+                    ),
+                )
+            )
+        else:
+            # p(X, Y) :- p(X, U), p(U, Y).   (empty center)
+            out.append(
+                Rule(
+                    Literal(p, (_X, _Y)),
+                    (Literal(p, (_X, u)), Literal(p, (u, _Y))),
+                )
+            )
+    # Exactly one exit rule (Definition 4.4).
+    out.append(
+        Rule(
+            Literal(predicate, (_X, _Y)),
+            (Literal(_edb_name(rng, edb_pool), (_X, _Y)),),
+        )
+    )
+    return Program(out)
+
+
+def random_program(
+    seed: int,
+    rules: int = 3,
+    edb_pool: int = 3,
+    predicate: str = "p",
+) -> Program:
+    """A random unit program with *no* class guarantees.
+
+    Adds shifting occurrences and side conjunctions with some
+    probability, producing a mix of factorable and non-factorable
+    programs — the classifier-rejection fuzz corpus.
+    """
+    rng = random.Random(seed)
+    base = random_rlc_program(seed, rules, edb_pool, predicate)
+    out: List[Rule] = []
+    for rule in base.rules:
+        roll = rng.random()
+        if roll < 0.25 and rule.body_literals(predicate):
+            # same-generation-style shifting rule
+            u, v = Variable("U"), Variable("V")
+            out.append(
+                Rule(
+                    Literal(predicate, (_X, _Y)),
+                    (
+                        Literal(_edb_name(rng, edb_pool), (_X, u)),
+                        Literal(predicate, (u, v)),
+                        Literal(_edb_name(rng, edb_pool), (v, _Y)),
+                    ),
+                )
+            )
+        elif roll < 0.45:
+            # add a filter on the free side (breaks free_exit ⊑ free)
+            out.append(
+                Rule(
+                    rule.head,
+                    (*rule.body, Literal(f"r{rng.randrange(edb_pool)}", (_Y,))),
+                )
+            )
+        else:
+            out.append(rule)
+    return Program(out)
+
+
+def random_edb(
+    seed: int,
+    n: int = 8,
+    edb_pool: int = 3,
+    facts_per_relation: int = 16,
+    unary_pool: int = 3,
+) -> Database:
+    """A random EDB covering the relation names the generators emit."""
+    rng = random.Random(seed)
+    db = Database()
+    for i in range(edb_pool):
+        db.add_facts(
+            f"e{i}",
+            {
+                (rng.randrange(n), rng.randrange(n))
+                for _ in range(facts_per_relation)
+            },
+        )
+    for i in range(unary_pool):
+        db.add_facts(f"r{i}", {(rng.randrange(n),) for _ in range(n)})
+    return db

@@ -1,0 +1,40 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+import pytest
+
+from repro.datalog.literals import Literal
+from repro.datalog.program import Program
+from repro.engine.database import Database
+from repro.engine.naive import naive_eval
+
+
+def answer_values(answers: Set[Tuple]) -> Set[Tuple]:
+    """Unwrap Constant values for readable assertions."""
+    out = set()
+    for row in answers:
+        out.add(tuple(getattr(term, "value", term) for term in row))
+    return out
+
+
+def oracle_answers(program: Program, goal: Literal, edb: Database) -> Set[Tuple]:
+    """Naive-evaluation ground truth for a query."""
+    db, _ = naive_eval(program, edb)
+    return db.query(goal)
+
+
+@pytest.fixture
+def tc_program():
+    from repro.workloads.examples import three_rule_tc_program
+
+    return three_rule_tc_program()
+
+
+@pytest.fixture
+def tc_goal():
+    from repro.datalog.parser import parse_query
+
+    return parse_query("t(0, Y)")

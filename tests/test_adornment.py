@@ -1,0 +1,97 @@
+"""Tests for adornment (Section 4.1 / the Magic Sets front end)."""
+
+import pytest
+
+from repro.analysis.adornment import (
+    Adornment,
+    adorn,
+    adorned_name,
+    adornment_from_query,
+    split_adorned_name,
+)
+from repro.datalog.parser import parse_program, parse_query
+from repro.workloads.examples import three_rule_tc_program
+from repro.workloads.lists import pmem_program, pmem_query
+
+
+class TestAdornmentBasics:
+    def test_positions(self):
+        adn = Adornment("bfb")
+        assert adn.bound_positions() == (0, 2)
+        assert adn.free_positions() == (1,)
+
+    def test_all_bound_free(self):
+        assert Adornment("bb").all_bound()
+        assert Adornment("ff").all_free()
+        assert not Adornment("bf").all_bound()
+
+    def test_name_roundtrip(self):
+        name = adorned_name("t", "bf")
+        assert name == "t@bf"
+        assert split_adorned_name(name) == ("t", Adornment("bf"))
+
+    def test_split_plain_name(self):
+        assert split_adorned_name("edge") == ("edge", None)
+
+    def test_split_rejects_non_adornment_suffix(self):
+        assert split_adorned_name("a@xyz") == ("a@xyz", None)
+
+    def test_from_query(self):
+        assert adornment_from_query(parse_query("t(5, Y)")) == "bf"
+        assert adornment_from_query(parse_query("t(X, Y)")) == "ff"
+        assert adornment_from_query(parse_query("t(1, 2)")) == "bb"
+
+    def test_ground_compound_is_bound(self):
+        assert adornment_from_query(parse_query("p(X, [1, 2])")) == "fb"
+        assert adornment_from_query(parse_query("p(X, [1 | T])")) == "ff"
+
+
+class TestAdornPrograms:
+    def test_tc_single_adornment(self):
+        adorned = adorn(three_rule_tc_program(), parse_query("t(5, Y)"))
+        assert adorned.goal.predicate == "t@bf"
+        assert adorned.adornments[("t", 2)] == {Adornment("bf")}
+        assert len(adorned.program) == 4
+
+    def test_edb_literals_untouched(self):
+        adorned = adorn(three_rule_tc_program(), parse_query("t(5, Y)"))
+        for rule in adorned.program:
+            for lit in rule.body:
+                assert lit.predicate in ("t@bf", "e")
+
+    def test_left_to_right_sip(self):
+        """A variable bound by an earlier EDB literal makes later args bound."""
+        program = parse_program("p(X, Y) :- e(X, W), q(W, Y).\nq(A, B) :- f(A, B).")
+        adorned = adorn(program, parse_query("p(1, Y)"))
+        body_preds = {
+            lit.predicate for rule in adorned.program for lit in rule.body
+        }
+        assert "q@bf" in body_preds
+
+    def test_multiple_adornments_reachable(self):
+        program = parse_program(
+            """
+            p(X, Y) :- q(X, Y).
+            p(X, Y) :- q(Y, X), q(X, Y).
+            q(A, B) :- e(A, B).
+            q(A, B) :- q(A, W), e(W, B).
+            """
+        )
+        adorned = adorn(program, parse_query("p(1, Y)"))
+        assert Adornment("bf") in adorned.adornments[("q", 2)]
+        assert Adornment("fb") in adorned.adornments[("q", 2)]
+
+    def test_pmem_fb(self):
+        adorned = adorn(pmem_program(), pmem_query(3))
+        assert adorned.goal.predicate == "pmem@fb"
+        # The recursive rule's body occurrence must also be fb.
+        preds = {lit.predicate for r in adorned.program for lit in r.body}
+        assert preds == {"pmem@fb", "p"}
+
+    def test_unknown_query_predicate(self):
+        with pytest.raises(ValueError):
+            adorn(three_rule_tc_program(), parse_query("nope(1, Y)"))
+
+    def test_all_free_query(self):
+        adorned = adorn(three_rule_tc_program(), parse_query("t(X, Y)"))
+        assert adorned.goal.predicate == "t@ff"

@@ -1,0 +1,162 @@
+"""Tests for left-/right-/combined-linear rule classification."""
+
+import pytest
+
+from repro.analysis.adornment import Adornment, adorn
+from repro.analysis.classify import (
+    RuleClass,
+    classify_program,
+    classify_rule,
+)
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.workloads.examples import (
+    example_43_program,
+    example_44_program,
+    example_45_program,
+    same_generation_program,
+    three_rule_tc_program,
+)
+from repro.workloads.lists import pmem_program, pmem_query
+
+
+def classify_tc_rule(text, adornment="bf", predicate="t@bf"):
+    rule = parse_rule(text)
+    return classify_rule(rule, predicate, Adornment(adornment))
+
+
+class TestClassifyRule:
+    def test_exit(self):
+        rc = classify_tc_rule("t@bf(X, Y) :- e(X, Y).")
+        assert rc.rule_class is RuleClass.EXIT
+        assert rc.bound_exit.head_terms[0].name == "X"
+        assert rc.free_exit.head_terms[0].name == "Y"
+
+    def test_left_linear(self):
+        rc = classify_tc_rule("t@bf(X, Y) :- t@bf(X, W), e(W, Y).")
+        assert rc.rule_class is RuleClass.LEFT_LINEAR
+        assert rc.bound.is_trivial()  # empty left conjunction
+        assert len(rc.free_last.body) == 1
+
+    def test_right_linear(self):
+        rc = classify_tc_rule("t@bf(X, Y) :- e(X, W), t@bf(W, Y).")
+        assert rc.rule_class is RuleClass.RIGHT_LINEAR
+        assert len(rc.bound_first.body) == 1
+        assert rc.free.is_trivial()
+
+    def test_combined_nonlinear(self):
+        rc = classify_tc_rule("t@bf(X, Y) :- t@bf(X, W), t@bf(W, Y).")
+        assert rc.rule_class is RuleClass.COMBINED
+        assert len(rc.left_occurrences) == 1
+        assert rc.right_occurrence is not None
+
+    def test_combined_with_conjunctions(self):
+        rc = classify_tc_rule(
+            "p@bf(X, Y) :- l1(X), p@bf(X, U), c1(U, V), p@bf(V, Y), r1(Y).",
+            predicate="p@bf",
+        )
+        assert rc.rule_class is RuleClass.COMBINED
+        assert len(rc.bound.body) == 1
+        assert len(rc.middle.body) == 1
+        assert len(rc.free.body) == 1
+
+    def test_shifting_unclassified(self):
+        rc = classify_tc_rule("sg@bf(X, Y) :- up(X, U), sg@bf(U, V), down(V, Y).",
+                              predicate="sg@bf")
+        assert rc.rule_class is RuleClass.UNCLASSIFIED
+
+    def test_tautology_unclassified(self):
+        rc = classify_tc_rule("t@bf(X, Y) :- t@bf(X, Y), e(X, Y).")
+        assert rc.rule_class is RuleClass.UNCLASSIFIED
+
+    def test_left_and_last_sharing_fails(self):
+        # d(W, X, Z) connects the bound X to the free side: not
+        # left-linear as written (Example 5.2's pseudo-left-linear).
+        rc = classify_tc_rule(
+            "p@bbf(X, Y, Z) :- p@bbf(X, Y, W), d(W, X, Z).",
+            adornment="bbf",
+            predicate="p@bbf",
+        )
+        assert rc.rule_class is RuleClass.UNCLASSIFIED
+
+    def test_multi_left_linear(self):
+        rc = classify_tc_rule(
+            "t@bf(X, Y) :- t@bf(X, U), t@bf(X, V), last(U, V, Y)."
+        )
+        assert rc.rule_class is RuleClass.LEFT_LINEAR
+        assert len(rc.left_occurrences) == 2
+
+    def test_example_41_rule_right_linear(self):
+        """Example 4.1's rule fits directly via connectivity grouping."""
+        rc = classify_tc_rule(
+            "t@bbf(X, Y, Z) :- e(Y, W), t@bbf(X, W, Z).",
+            adornment="bbf",
+            predicate="t@bbf",
+        )
+        assert rc.rule_class is RuleClass.RIGHT_LINEAR
+
+
+class TestClassifyProgram:
+    def test_three_rule_tc(self):
+        adorned = adorn(three_rule_tc_program(), parse_query("t(5, Y)"))
+        classification = classify_program(adorned.program, "t@bf", Adornment("bf"))
+        assert classification.ok
+        assert classification.is_rlc_stable()
+        classes = [rc.rule_class for rc in classification.rules]
+        assert classes == [
+            RuleClass.COMBINED,
+            RuleClass.RIGHT_LINEAR,
+            RuleClass.LEFT_LINEAR,
+            RuleClass.EXIT,
+        ]
+
+    def test_pmem(self):
+        adorned = adorn(pmem_program(), pmem_query(3))
+        classification = classify_program(
+            adorned.program, "pmem@fb", Adornment("fb")
+        )
+        assert classification.ok
+        classes = {rc.rule_class for rc in classification.rules}
+        assert RuleClass.RIGHT_LINEAR in classes
+        assert RuleClass.EXIT in classes
+
+    def test_example_programs(self):
+        for program, expected in [
+            (example_43_program(), True),
+            (example_44_program(), True),
+            (example_45_program(), True),
+            (same_generation_program(), False),
+        ]:
+            goal = parse_query(f"{program.rules[0].head.predicate}(5, Y)")
+            adorned = adorn(program, goal)
+            classification = classify_program(
+                adorned.program, adorned.goal.predicate, Adornment("bf")
+            )
+            assert classification.ok is expected
+
+    def test_missing_predicate(self):
+        adorned = adorn(three_rule_tc_program(), parse_query("t(5, Y)"))
+        result = classify_program(adorned.program, "zzz@bf", Adornment("bf"))
+        assert not result.ok
+
+    def test_exit_rule_count_matters(self):
+        program = parse_program(
+            """
+            t@bf(X, Y) :- t@bf(X, W), e(W, Y).
+            t@bf(X, Y) :- e(X, Y).
+            t@bf(X, Y) :- e2(X, Y).
+            """
+        )
+        classification = classify_program(program, "t@bf", Adornment("bf"))
+        assert classification.ok  # each rule classifies
+        assert not classification.is_rlc_stable()  # but two exit rules
+
+    def test_permutation_search(self):
+        """A program needing a consistent bound-position swap."""
+        program = parse_program(
+            """
+            p@bbf(X, Y, Z) :- a(Y, X, V, W), p@bbf(V, W, Z).
+            p@bbf(X, Y, Z) :- e(X, Y, Z).
+            """
+        )
+        classification = classify_program(program, "p@bbf", Adornment("bbf"))
+        assert classification.ok

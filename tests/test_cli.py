@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+TC_TEXT = """
+t(X, Y) :- t(X, W), t(W, Y).
+t(X, Y) :- e(X, W), t(W, Y).
+t(X, Y) :- t(X, W), e(W, Y).
+t(X, Y) :- e(X, Y).
+"""
+
+FACTS_TEXT = "e(1, 2).\ne(2, 3).\ne(3, 4).\n"
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "tc.dl"
+    path.write_text(TC_TEXT)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.dl"
+    path.write_text(FACTS_TEXT)
+    return str(path)
+
+
+class TestClassify:
+    def test_factorable(self, program_file, capsys):
+        assert main(["classify", program_file, "t(1, Y)"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.1" in out
+        assert "combined" in out and "right-linear" in out
+
+    def test_non_factorable(self, tmp_path, capsys):
+        path = tmp_path / "sg.dl"
+        path.write_text(
+            "sg(X, Y) :- flat(X, Y).\n"
+            "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n"
+        )
+        assert main(["classify", str(path), "sg(1, Y)"]) == 0
+        out = capsys.readouterr().out
+        assert "factorable: not applicable" in out or "factorable: no" in out
+
+
+class TestOptimize:
+    def test_prints_stages(self, program_file, capsys):
+        assert main(["optimize", program_file, "t(1, Y)"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("=== adorned ===", "=== magic ===", "=== simplified ==="):
+            assert marker in out
+        assert "m_t@bf(1)." in out
+
+    def test_trace_flag(self, program_file, capsys):
+        assert main(["optimize", program_file, "t(1, Y)", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "prop-5.4a" in out
+
+
+class TestRun:
+    def test_answers(self, program_file, facts_file, capsys):
+        assert main(["run", program_file, "t(1, Y)", "--facts", facts_file]) == 0
+        captured = capsys.readouterr()
+        assert set(captured.out.split()) == {"2", "3", "4"}
+        assert "3 answers" in captured.err
+
+    def test_ground_query_true(self, program_file, facts_file, capsys):
+        assert main(["run", program_file, "t(1, 4)", "--facts", facts_file]) == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_no_facts_file(self, program_file, capsys):
+        assert main(["run", program_file, "t(1, Y)"]) == 0
+        assert "0 answers" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_ok_program(self, program_file, capsys):
+        assert main(["validate", program_file]) == 0
+
+    def test_warnings_printed(self, tmp_path, capsys):
+        path = tmp_path / "warn.dl"
+        path.write_text("p(X) :- e(X, Orphan).\n")
+        assert main(["validate", str(path)]) == 0
+        assert "singleton-variable" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_derivation_tree(self, program_file, facts_file, capsys):
+        assert main(
+            ["explain", program_file, "t(1, 3)", "--facts", facts_file]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "t(1, 3)" in out and "[via" in out
+
+    def test_underivable(self, program_file, facts_file, capsys):
+        code = main(
+            ["explain", program_file, "t(4, 1)", "--facts", facts_file]
+        )
+        assert code == 1
+        assert "not derivable" in capsys.readouterr().err

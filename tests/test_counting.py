@@ -1,0 +1,135 @@
+"""Tests for the Counting transformation (Section 6.4)."""
+
+import pytest
+
+from repro.analysis.adornment import adorn
+from repro.analysis.isomorphism import programs_isomorphic
+from repro.core.factoring import free_name
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import NonTerminationError
+from repro.transforms.counting import (
+    counting,
+    counting_diverges,
+    delete_index_fields,
+    refine_counting,
+)
+from repro.transforms.magic import magic_name
+from repro.workloads.graphs import chain_edb
+
+RIGHT_ONLY = parse_program(
+    """
+    p(X, Y) :- first1(X, U), p(U, Y), right1(Y).
+    p(X, Y) :- first2(X, U), p(U, Y), right2(Y).
+    p(X, Y) :- exit(X, Y).
+    """
+)
+
+LEFT_TC = parse_program(
+    """
+    t(X, Y) :- t(X, Z), e(Z, Y).
+    t(X, Y) :- e(X, Y).
+    """
+)
+
+RIGHT_TC = parse_program(
+    """
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    t(X, Y) :- e(X, Y).
+    """
+)
+
+
+def right_only_edb(n=8):
+    """An EDB satisfying the Section 6.4 example's semantic conditions."""
+    db = Database()
+    db.add_facts("first1", [(i, i + 1) for i in range(0, n, 2)])
+    db.add_facts("first2", [(i, i + 1) for i in range(1, n, 2)])
+    db.add_facts("exit", [(i, 100 + i) for i in range(n + 1)])
+    targets = [(100 + i,) for i in range(n + 1)]
+    db.add_facts("right1", targets)
+    db.add_facts("right2", targets)
+    return db
+
+
+class TestCountingStructure:
+    def test_right_linear_no_divergence(self):
+        result = counting(adorn(RIGHT_ONLY, parse_query("p(0, Y)")))
+        assert not counting_diverges(result)
+
+    def test_left_linear_divergence_detected(self):
+        result = counting(adorn(LEFT_TC, parse_query("t(0, Y)")))
+        assert counting_diverges(result)
+
+    def test_nonunit_program_rejected(self):
+        program = parse_program("a(X) :- b(X).\nb(X) :- e(X).")
+        adorned = adorn(program, parse_query("a(1)"))
+        with pytest.raises(ValueError):
+            counting(adorned)
+
+
+class TestCountingSemantics:
+    def test_right_linear_answers_match_magic(self):
+        goal = parse_query("t(0, Y)")
+        result = counting(adorn(RIGHT_TC, goal))
+        edb = chain_edb(8)
+        db, _ = seminaive_eval(result.program, edb)
+        opt = optimize(RIGHT_TC, goal)
+        expected, _ = opt.evaluate_stage("magic", edb)
+        assert result.answers(db) == expected
+
+    def test_left_linear_diverges_dynamically(self):
+        result = counting(adorn(LEFT_TC, parse_query("t(0, Y)")))
+        with pytest.raises(NonTerminationError):
+            seminaive_eval(result.program, chain_edb(6), max_facts=3000)
+
+    def test_refined_counting_preserves_answers(self):
+        goal = parse_query("p(0, Y)")
+        result = counting(adorn(RIGHT_ONLY, goal))
+        refined = refine_counting(result)
+        edb = right_only_edb()
+        db1, _ = seminaive_eval(result.program, edb)
+        db2, _ = seminaive_eval(refined.program, edb)
+        assert result.answers(db1) == refined.answers(db2)
+        assert result.answers(db1)  # nonempty
+
+    def test_index_deletion_preserves_answers_when_factorable(self):
+        goal = parse_query("p(0, Y)")
+        result = refine_counting(counting(adorn(RIGHT_ONLY, goal)))
+        no_index, query_head = delete_index_fields(result)
+        edb = right_only_edb()
+        db1, _ = seminaive_eval(result.program, edb)
+        db2, _ = seminaive_eval(no_index, edb)
+        assert result.answers(db1) == db2.query(query_head)
+
+
+class TestTheorem64:
+    def test_program_identity(self):
+        """Theorem 6.4: counting minus indices == factored Magic program."""
+        goal = parse_query("p(5, Y)")
+        adorned = adorn(RIGHT_ONLY, goal)
+        no_index, _ = delete_index_fields(refine_counting(counting(adorned)))
+        factored = optimize(RIGHT_ONLY, goal, force_factor=True).simplified
+        predicate = adorned.goal.predicate
+        renaming = {
+            f"cnt_{predicate}": magic_name(predicate),
+            f"ans_{predicate}": free_name(predicate),
+        }
+        assert programs_isomorphic(no_index, factored.program, renaming)
+
+    def test_identity_fails_with_left_linear(self):
+        """With a left-linear rule, the counting program (even index-
+        stripped) differs: the factored program keeps a terminating rule
+        where counting had a divergent self-loop."""
+        goal = parse_query("t(5, Y)")
+        adorned = adorn(LEFT_TC, goal)
+        no_index, _ = delete_index_fields(refine_counting(counting(adorned)))
+        factored = optimize(LEFT_TC, goal, force_factor=True).simplified
+        predicate = adorned.goal.predicate
+        renaming = {
+            f"cnt_{predicate}": magic_name(predicate),
+            f"ans_{predicate}": free_name(predicate),
+        }
+        assert not programs_isomorphic(no_index, factored.program, renaming)

@@ -1,0 +1,118 @@
+"""Unit tests for relations and databases."""
+
+import pytest
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_literal, parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.engine.database import Database, Relation, load_program_facts
+
+from tests.conftest import answer_values
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        rel = Relation("e", 2)
+        assert rel.add((Constant(1), Constant(2)))
+        assert not rel.add((Constant(1), Constant(2)))
+        assert (Constant(1), Constant(2)) in rel
+        assert len(rel) == 1
+
+    def test_arity_check(self):
+        rel = Relation("e", 2)
+        with pytest.raises(ValueError):
+            rel.add((Constant(1),))
+
+    def test_lookup_full_scan(self):
+        rel = Relation("e", 1)
+        rel.add((Constant(1),))
+        assert set(rel.lookup((), ())) == {(Constant(1),)}
+
+    def test_lookup_indexed(self):
+        rel = Relation("e", 2)
+        for i in range(10):
+            rel.add((Constant(i % 3), Constant(i)))
+        hits = rel.lookup((0,), (Constant(1),))
+        assert all(t[0] == Constant(1) for t in hits)
+        assert len(list(hits)) == len([i for i in range(10) if i % 3 == 1])
+
+    def test_index_maintained_after_add(self):
+        rel = Relation("e", 2)
+        rel.add((Constant(1), Constant(2)))
+        rel.lookup((0,), (Constant(1),))  # build index
+        rel.add((Constant(1), Constant(3)))  # must update it
+        assert len(rel.lookup((0,), (Constant(1),))) == 2
+
+    def test_copy_independent(self):
+        rel = Relation("e", 1)
+        rel.add((Constant(1),))
+        dup = rel.copy()
+        dup.add((Constant(2),))
+        assert len(rel) == 1 and len(dup) == 2
+
+
+class TestDatabase:
+    def test_add_fact_wraps_values(self):
+        db = Database()
+        db.add_fact("e", (1, "a"))
+        assert db.has_fact("e", (1, "a"))
+
+    def test_rejects_nonground(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.add_fact("e", (Variable("X"),))
+
+    def test_from_dict(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)], "v": [(1,)]})
+        assert db.total_facts() == 3
+
+    def test_query_with_variables(self):
+        db = Database.from_dict({"e": [(1, 2), (1, 3), (2, 3)]})
+        answers = db.query(parse_literal("e(1, Y)"))
+        assert answer_values(answers) == {(2,), (3,)}
+
+    def test_query_ground_goal(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        assert db.query(parse_literal("e(1, 2)")) == {()}
+        assert db.query(parse_literal("e(2, 1)")) == set()
+
+    def test_query_repeated_variable(self):
+        db = Database.from_dict({"e": [(1, 1), (1, 2)]})
+        assert answer_values(db.query(parse_literal("e(X, X)"))) == {(1,)}
+
+    def test_merge(self):
+        a = Database.from_dict({"e": [(1, 2)]})
+        b = Database.from_dict({"e": [(2, 3)], "v": [(9,)]})
+        merged = a.merge(b)
+        assert merged.total_facts() == 3
+        assert a.total_facts() == 1  # inputs untouched
+
+    def test_restrict(self):
+        db = Database.from_dict({"e": [(1, 2)], "v": [(1,)]})
+        only_e = db.restrict([("e", 2)])
+        assert only_e.get("v", 1) is None
+
+    def test_equality_ignores_empty_relations(self):
+        a = Database.from_dict({"e": [(1, 2)]})
+        b = Database.from_dict({"e": [(1, 2)]})
+        b.relation("unused", 1)
+        assert a == b
+
+    def test_copy_independent(self):
+        a = Database.from_dict({"e": [(1, 2)]})
+        b = a.copy()
+        b.add_fact("e", (3, 4))
+        assert a.total_facts() == 1
+
+
+class TestLoadProgramFacts:
+    def test_loads_seed_facts(self):
+        program = parse_program("m(5).\nt(X) :- m(X).")
+        db = Database()
+        assert load_program_facts(program, db) == 1
+        assert db.has_fact("m", (5,))
+
+    def test_skips_rules(self):
+        program = parse_program("t(X) :- m(X).")
+        db = Database()
+        assert load_program_facts(program, db) == 0

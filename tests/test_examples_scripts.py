@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs and prints sensible output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "30")
+        assert result.returncode == 0, result.stderr
+        assert "Theorem 4.1" in result.stdout
+        assert "m_t@bf(0)." in result.stdout
+
+    def test_list_membership(self):
+        result = run_example("list_membership.py", "12")
+        assert result.returncode == 0, result.stderr
+        assert "table entries" in result.stdout
+        assert "Same answers" in result.stdout
+
+    def test_flight_routes(self):
+        result = run_example("flight_routes.py")
+        assert result.returncode == 0, result.stderr
+        assert "reachable from MSN" in result.stdout
+        assert "factored" in result.stdout
+
+    def test_bill_of_materials(self):
+        result = run_example("bill_of_materials.py")
+        assert result.returncode == 0, result.stderr
+        assert "widget transitively uses" in result.stdout
+        assert "magnet? yes" in result.stdout
+
+    def test_derivation_trees(self):
+        result = run_example("derivation_trees.py")
+        assert result.returncode == 0, result.stderr
+        assert "f_route@bf(hnl)" in result.stdout
+        assert "[via" in result.stdout
+
+    def test_program_inspector_builtin(self):
+        result = run_example("program_inspector.py", "--example", "tc", "t(5, Y)")
+        assert result.returncode == 0, result.stderr
+        assert "FACTORABLE" in result.stdout
+
+    def test_program_inspector_negative(self):
+        result = run_example("program_inspector.py", "--example", "sg", "sg(1, Y)")
+        assert result.returncode == 0, result.stderr
+        assert "not factorable" in result.stdout
+
+    def test_program_inspector_from_file(self, tmp_path):
+        source = tmp_path / "prog.dl"
+        source.write_text(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).\n"
+        )
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES / "program_inspector.py"),
+                str(source),
+                "t(1, Y)",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "FACTORABLE" in result.stdout
+
+    def test_usage_message(self):
+        result = run_example("program_inspector.py")
+        assert result.returncode == 1
+        assert "Usage" in result.stdout

@@ -1,0 +1,56 @@
+"""Tests for rule/program isomorphism (the Theorem 6.4 comparator)."""
+
+from repro.analysis.isomorphism import programs_isomorphic, rules_isomorphic
+from repro.datalog.parser import parse_program, parse_rule
+
+
+class TestRulesIsomorphic:
+    def test_variable_renaming(self):
+        a = parse_rule("p(X, Y) :- q(X, Z), r(Z, Y).")
+        b = parse_rule("p(A, B) :- q(A, C), r(C, B).")
+        assert rules_isomorphic(a, b)
+
+    def test_body_order_ignored(self):
+        a = parse_rule("p(X) :- q(X), r(X).")
+        b = parse_rule("p(X) :- r(X), q(X).")
+        assert rules_isomorphic(a, b)
+
+    def test_renaming_must_be_bijective(self):
+        a = parse_rule("p(X, Y) :- q(X, Y).")
+        b = parse_rule("p(A, A) :- q(A, A).")
+        assert not rules_isomorphic(a, b)
+        assert not rules_isomorphic(b, a)
+
+    def test_constants_fixed(self):
+        a = parse_rule("p(X) :- q(X, 5).")
+        b = parse_rule("p(X) :- q(X, 6).")
+        assert not rules_isomorphic(a, b)
+
+    def test_compound_terms(self):
+        a = parse_rule("m(T) :- m([H | T]).")
+        b = parse_rule("m(B) :- m([A | B]).")
+        assert not rules_isomorphic(a, parse_rule("m(T) :- m([T | H])."))
+        assert rules_isomorphic(a, b)
+
+    def test_different_lengths(self):
+        a = parse_rule("p(X) :- q(X).")
+        b = parse_rule("p(X) :- q(X), q(X).")
+        assert not rules_isomorphic(a, b)
+
+
+class TestProgramsIsomorphic:
+    def test_rule_order_ignored(self):
+        a = parse_program("p(X) :- q(X).\nr(X) :- s(X).")
+        b = parse_program("r(X) :- s(X).\np(X) :- q(X).")
+        assert programs_isomorphic(a, b)
+
+    def test_predicate_renaming(self):
+        a = parse_program("cnt(X) :- cnt(Y), e(Y, X).\ncnt(5).")
+        b = parse_program("m(X) :- m(Y), e(Y, X).\nm(5).")
+        assert programs_isomorphic(a, b, {"cnt": "m"})
+        assert not programs_isomorphic(a, b)
+
+    def test_extra_rule_detected(self):
+        a = parse_program("p(X) :- q(X).")
+        b = parse_program("p(X) :- q(X).\np(X) :- r(X).")
+        assert not programs_isomorphic(a, b)

@@ -1,0 +1,149 @@
+"""Unit tests for the join machinery, statistics, and bench harness."""
+
+import pytest
+
+from repro.bench.harness import Measurement, Series, bench_scale, render_table, speedup
+from repro.datalog.parser import parse_literal, parse_rule
+from repro.datalog.terms import Compound, Constant, Variable
+from repro.engine.database import Database
+from repro.engine.joins import (
+    bound_positions,
+    candidates,
+    instantiate_head,
+    join_rule,
+    relation_from_tuples,
+)
+from repro.engine.stats import EvalStats
+
+
+class TestBoundPositions:
+    def test_constants_always_bound(self):
+        lit = parse_literal("e(1, X)")
+        positions, key = bound_positions(lit, {})
+        assert positions == (0,)
+        assert key == [Constant(1)]
+
+    def test_bound_variables(self):
+        lit = parse_literal("e(X, Y)")
+        positions, key = bound_positions(lit, {Variable("X"): Constant(7)})
+        assert positions == (0,)
+        assert key == [Constant(7)]
+
+    def test_compound_partially_bound(self):
+        lit = parse_literal("p(f(X, Y))")
+        positions, _ = bound_positions(lit, {Variable("X"): Constant(1)})
+        assert positions == ()  # Y unbound -> the term is not ground
+        positions, key = bound_positions(
+            lit, {Variable("X"): Constant(1), Variable("Y"): Constant(2)}
+        )
+        assert positions == (0,)
+        assert key[0] == Compound("f", (Constant(1), Constant(2)))
+
+
+class TestJoinRule:
+    def test_full_enumeration(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)], "f": [(2,), (3,)]})
+        rule = parse_rule("out(X, Y) :- e(X, Y), f(Y).")
+        results = []
+        join_rule(db, rule, lambda b: results.append(instantiate_head(rule, b)))
+        assert set(results) == {
+            (Constant(1), Constant(2)),
+            (Constant(2), Constant(3)),
+        }
+
+    def test_override_relation(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        rule = parse_rule("out(X, Y) :- e(X, Y).")
+        delta = relation_from_tuples("e", 2, [(Constant(2), Constant(3))])
+        results = []
+        join_rule(
+            db,
+            rule,
+            lambda b: results.append(instantiate_head(rule, b)),
+            overrides={0: delta},
+        )
+        assert results == [(Constant(2), Constant(3))]
+
+    def test_missing_relation_yields_nothing(self):
+        db = Database()
+        rule = parse_rule("out(X) :- nothing(X).")
+        results = []
+        join_rule(db, rule, lambda b: results.append(b))
+        assert results == []
+
+    def test_unsafe_head_raises(self):
+        db = Database.from_dict({"e": [(1,)]})
+        rule = parse_rule("out(X, Z) :- e(X).")
+        with pytest.raises(ValueError):
+            join_rule(
+                db, rule, lambda b: instantiate_head(rule, b)
+            )
+
+    def test_zero_arity_literal(self):
+        db = Database.from_dict({"go": [()]})
+        rule = parse_rule("out(X) :- go, e(X).")
+        db.add_fact("e", (5,))
+        results = []
+        join_rule(db, rule, lambda b: results.append(instantiate_head(rule, b)))
+        assert results == [(Constant(5),)]
+
+
+class TestEvalStats:
+    def test_record_and_per_predicate(self):
+        stats = EvalStats()
+        stats.record_fact(("t", 2))
+        stats.record_fact(("t", 2))
+        stats.record_fact(("m", 1))
+        assert stats.facts == 3
+        assert stats.per_predicate[("t", 2)] == 2
+
+    def test_merge(self):
+        a = EvalStats(facts=2, inferences=5, iterations=1, seconds=0.5)
+        a.per_predicate[("t", 2)] = 2
+        b = EvalStats(facts=1, inferences=3, iterations=2, seconds=0.25)
+        b.per_predicate[("t", 2)] = 1
+        merged = a.merge(b)
+        assert merged.facts == 3
+        assert merged.inferences == 8
+        assert merged.per_predicate[("t", 2)] == 3
+        assert a.facts == 2  # inputs untouched
+
+    def test_str(self):
+        assert "facts=0" in str(EvalStats())
+
+
+class TestHarness:
+    def test_measurement_rows_align_with_header(self):
+        m = Measurement(label="x", n=5, extra={"k": "v"})
+        assert len(m.row()) == len(m.header())
+        assert "k" in m.header()
+
+    def test_series_render(self):
+        series = Series("demo")
+        series.add(Measurement(label="a", n=1, facts=10))
+        series.note("a note")
+        text = series.render()
+        assert "demo" in text and "a note" in text and "10" in text
+
+    def test_empty_series(self):
+        assert "no measurements" in Series("empty").render()
+
+    def test_render_table_alignment(self):
+        table = render_table(["col", "n"], [["a", "1"], ["long-label", "22"]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+    def test_speedup(self):
+        base = Measurement(label="b", n=1, inferences=100)
+        fast = Measurement(label="f", n=1, inferences=10)
+        assert speedup(base, fast) == 10.0
+        zero = Measurement(label="z", n=1, inferences=0)
+        assert speedup(base, zero) == float("inf")
+
+    def test_bench_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "junk")
+        assert bench_scale() == 1.0

@@ -1,0 +1,128 @@
+"""Tests for Section 7.3: factoring inner predicates (Example 7.2)."""
+
+import random
+
+import pytest
+
+from repro.core.nonunit import (
+    decouples_subgoals,
+    factor_inner,
+    inner_factoring_valid_on,
+)
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+
+P1 = """
+p(X, Y) :- b(X, U), p(U, Y).
+p(X, Y) :- e(X, Y).
+"""
+
+P2 = """
+p(X, Y) :- l(X), p(X, U), c(U, V), p(V, Y).
+p(X, Y) :- d(X, Y).
+"""
+
+OUTER_UNARY = "q(Y) :- a(X, Z), p(Z, Y).\n"
+OUTER_BINARY = "q(X, Y) :- a(X, Z), p(Z, Y).\n"
+
+
+def example_72_edb(seed=0, n=8):
+    rng = random.Random(seed)
+    db = Database.from_dict(
+        {
+            "a": [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+            "b": [(rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)],
+            "e": [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+            "d": [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+            "l": [(i,) for i in range(n)],
+            "c": [(rng.randrange(n), rng.randrange(n)) for _ in range(n)],
+        }
+    )
+    return db
+
+
+class TestExample72:
+    def test_unary_query_with_p1_valid(self):
+        """P ∪ P1 with q(Y): factoring p@bf preserves the answers."""
+        program = parse_program(OUTER_UNARY + P1)
+        goal = parse_query("q(Y)")
+        for seed in range(5):
+            assert inner_factoring_valid_on(
+                program, goal, "p", example_72_edb(seed)
+            ), seed
+
+    def test_binary_query_with_p1_invalid(self):
+        """q(X, Y) correlates subgoals with answers: factoring breaks."""
+        program = parse_program(OUTER_BINARY + P1)
+        goal = parse_query("q(X, Y)")
+        broken = [
+            seed
+            for seed in range(8)
+            if not inner_factoring_valid_on(program, goal, "p", example_72_edb(seed))
+        ]
+        assert broken, "some EDB must expose the correlation loss"
+
+    def test_p2_invalid_even_for_unary_query(self):
+        """The combined-rule P2 correlates internally (Example 7.2).
+
+        With several seeds, an fp answer of one subgoal feeds another
+        subgoal's combined rule, generating a spurious magic fact and a
+        spurious answer.  The EDB is built to exhibit exactly that:
+        seed 0 answers 1; seed 5 (the only l member) answers 2; the
+        factored magic rule combines l(5), bp(5), fp(1), c(1, 7) into
+        the spurious subgoal 7, whose exit answer 99 pollutes q.
+        """
+        program = parse_program(OUTER_UNARY + P2)
+        goal = parse_query("q(Y)")
+        edb = Database.from_dict(
+            {
+                "a": [(9, 0), (9, 5)],
+                "l": [(5,)],
+                "d": [(0, 1), (5, 2), (7, 99)],
+                "c": [(1, 7)],
+            }
+        )
+        candidate = factor_inner(program, goal, "p")
+        magic_answers, _ = candidate.answers_magic(edb)
+        factored_answers, _ = candidate.answers_factored(edb)
+        assert magic_answers < factored_answers
+        assert not inner_factoring_valid_on(program, goal, "p", edb)
+
+
+class TestHeuristic:
+    def test_unary_query_decouples(self):
+        program = parse_program(OUTER_UNARY + P1)
+        assert decouples_subgoals(program, parse_query("q(Y)"), "p")
+
+    def test_binary_query_couples(self):
+        program = parse_program(OUTER_BINARY + P1)
+        assert not decouples_subgoals(program, parse_query("q(X, Y)"), "p")
+
+    def test_direct_correlation_couples(self):
+        # a(Z) binds Z before p (so p is p@bf) and Z reaches the head.
+        program = parse_program("q(Z, Y) :- a0(Z), p(Z, Y).\n" + P1)
+        assert not decouples_subgoals(program, parse_query("q(Z, Y)"), "p")
+
+
+class TestFactorInner:
+    def test_structure(self):
+        program = parse_program(OUTER_UNARY + P1)
+        candidate = factor_inner(program, parse_query("q(Y)"), "p")
+        assert candidate.predicate == "p@bf"
+        body_preds = {
+            l.predicate for r in candidate.factored for l in r.body
+        }
+        assert "b_p@bf" in body_preds and "f_p@bf" in body_preds
+        assert "p@bf" not in body_preds
+
+    def test_multiple_adornments_rejected(self):
+        program = parse_program(
+            "q(Y) :- p(1, Y).\nq(Y) :- p(Y, 1).\n" + P1
+        )
+        with pytest.raises(ValueError):
+            factor_inner(program, parse_query("q(Y)"), "p")
+
+    def test_trivial_adornment_rejected(self):
+        program = parse_program("q(X, Y) :- p(X, Y).\n" + P1)
+        with pytest.raises(ValueError):
+            factor_inner(program, parse_query("q(X, Y)"), "p")

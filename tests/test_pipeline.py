@@ -1,0 +1,155 @@
+"""Integration tests: the optimize() pipeline on the paper's examples."""
+
+import pytest
+
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+from repro.workloads.examples import (
+    example_43_edb,
+    example_43_program,
+    example_43_violating_edbs,
+    example_44_edb,
+    example_44_program,
+    example_45_edb,
+    example_45_program,
+    same_generation_edb,
+    same_generation_program,
+    same_generation_query_node,
+    three_rule_tc_program,
+)
+from repro.workloads.graphs import chain_edb, random_digraph_edb
+from repro.workloads.lists import pmem_edb, pmem_program, pmem_query
+
+from tests.conftest import oracle_answers
+
+
+class TestTransitiveClosure:
+    def test_all_stages_agree(self):
+        goal = parse_query("t(0, Y)")
+        result = optimize(three_rule_tc_program(), goal)
+        edb = random_digraph_edb(15, 40, seed=2)
+        expected = oracle_answers(three_rule_tc_program(), goal, edb)
+        for stage in ("original", "magic", "factored", "simplified"):
+            answers, _ = result.evaluate_stage(stage, edb)
+            assert answers == expected, stage
+
+    def test_simplified_is_linear(self):
+        goal = parse_query("t(0, Y)")
+        result = optimize(three_rule_tc_program(), goal)
+        n = 60
+        _, stats = result.answers(chain_edb(n))
+        # m: n facts, f: n-1, query: n-1 — strictly linear in n.
+        assert stats.facts <= 3 * n
+
+    def test_magic_quadratic_on_chain(self):
+        goal = parse_query("t(0, Y)")
+        result = optimize(three_rule_tc_program(), goal)
+        n = 30
+        _, stats = result.evaluate_stage("magic", chain_edb(n))
+        assert stats.facts > n * n / 4  # the t@bf relation is quadratic
+
+
+class TestPmem:
+    def test_factorable_and_correct(self):
+        # NOTE: the original pmem program is not range-restricted (the
+        # recursive rule's head invents the list tail), so bottom-up
+        # evaluation of the *original* is impossible — the oracle here
+        # is the tabled top-down evaluator, as in the paper's Prolog
+        # comparison.
+        from repro.engine.topdown import topdown_eval
+
+        n = 10
+        result = optimize(pmem_program(), pmem_query(n))
+        assert result.report.certified_by == "Theorem 4.1 (selection-pushing)"
+        edb = pmem_edb(n, satisfying=[2, 5, 7])
+        answers, _ = result.answers(edb)
+        expected = topdown_eval(pmem_program(), edb, pmem_query(n)).answers
+        assert answers == expected
+
+
+class TestInstanceCertification:
+    @pytest.mark.parametrize(
+        "program_fn, edb_fn",
+        [
+            (example_43_program, example_43_edb),
+            (example_44_program, example_44_edb),
+            (example_45_program, example_45_edb),
+        ],
+    )
+    def test_instance_certified_examples(self, program_fn, edb_fn):
+        program, edb = program_fn(), edb_fn()
+        goal = parse_query("p(5, Y)")
+        result = optimize(program, goal, edb=edb)
+        assert result.report is not None and result.report.factorable
+        expected = oracle_answers(program, goal, edb)
+        for stage in ("magic", "factored", "simplified"):
+            answers, _ = result.evaluate_stage(stage, edb)
+            assert answers == expected, stage
+
+    def test_syntactic_mode_rejects_them(self):
+        for program_fn in (example_43_program, example_44_program, example_45_program):
+            result = optimize(program_fn(), parse_query("p(5, Y)"))
+            assert result.factored is None
+
+    def test_violating_edbs_make_forced_factoring_wrong(self):
+        program = example_43_program()
+        for name, (edb, goal) in example_43_violating_edbs().items():
+            result = optimize(program, goal, force_factor=True, simplify=False)
+            magic_answers, _ = result.evaluate_stage("magic", edb)
+            factored_answers, _ = result.evaluate_stage("factored", edb)
+            assert magic_answers < factored_answers, name  # strictly wrong
+
+    def test_instance_check_rejects_violating_edbs(self):
+        program = example_43_program()
+        for name, (edb, goal) in example_43_violating_edbs().items():
+            result = optimize(program, goal, edb=edb)
+            assert result.factored is None, name
+
+
+class TestSameGeneration:
+    def test_not_factorable_but_magic_correct(self):
+        node = same_generation_query_node(4, 2)
+        goal = parse_query(f"sg({node}, Y)")
+        result = optimize(same_generation_program(), goal)
+        assert result.factored is None
+        assert not result.classification.ok
+        edb = same_generation_edb(4, 2)
+        answers, _ = result.answers(edb)
+        assert answers == oracle_answers(same_generation_program(), goal, edb)
+
+
+class TestPipelineEdges:
+    def test_all_bound_query_not_factored(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(1, 2)"))
+        assert result.factored is None  # trivial factoring refused
+        edb = chain_edb(5)
+        answers, _ = result.answers(edb)
+        assert answers == {()}
+
+    def test_all_free_query_not_factored(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(X, Y)"))
+        assert result.factored is None
+        edb = chain_edb(5)
+        answers, _ = result.answers(edb)
+        assert len(answers) == 10
+
+    def test_nonrecursive_program(self):
+        program = parse_program("t(X, Y) :- e(X, Y).")
+        result = optimize(program, parse_query("t(1, Y)"))
+        assert result.classification is None
+        edb = chain_edb(4)
+        answers, _ = result.answers(edb)
+        assert answers == oracle_answers(program, parse_query("t(1, Y)"), edb)
+
+    def test_best_program_fallback_order(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"),
+                          simplify=False)
+        assert result.simplified is None
+        assert result.best_program() is result.factored.program
+
+    def test_evaluate_stage_unavailable(self):
+        result = optimize(same_generation_program(),
+                          parse_query(f"sg(1, Y)"))
+        with pytest.raises(ValueError):
+            result.evaluate_stage("factored", Database())

@@ -1,0 +1,99 @@
+"""Tests for optimize()'s options and result surface."""
+
+import pytest
+
+from repro.core.pipeline import optimize
+from repro.datalog.parser import parse_program, parse_query
+from repro.workloads.examples import three_rule_tc_program
+from repro.workloads.graphs import chain_edb
+
+from tests.conftest import oracle_answers
+
+
+class TestOptions:
+    def test_simplify_false(self):
+        result = optimize(
+            three_rule_tc_program(), parse_query("t(0, Y)"), simplify=False
+        )
+        assert result.factored is not None
+        assert result.simplified is None and result.trace is None
+
+    def test_no_uniform_equivalence(self):
+        result = optimize(
+            three_rule_tc_program(),
+            parse_query("t(0, Y)"),
+            use_uniform_equivalence=False,
+        )
+        # the redundant recursive m rule survives; answers still correct
+        assert len(result.simplified.program) == 6
+        edb = chain_edb(8)
+        answers, _ = result.answers(edb)
+        assert answers == oracle_answers(
+            three_rule_tc_program(), parse_query("t(0, Y)"), edb
+        )
+
+    def test_try_reduction_false(self):
+        from repro.workloads.examples import example_51_program
+
+        result = optimize(
+            example_51_program(), parse_query("p(5, 6, U)"), try_reduction=False
+        )
+        assert result.reduction is None
+        assert result.factored is None  # unclassifiable without reduction
+
+    def test_force_factor_marks_forced(self):
+        from repro.workloads.examples import example_43_program
+
+        result = optimize(
+            example_43_program(), parse_query("p(5, Y)"), force_factor=True
+        )
+        assert result.factored is not None
+        assert result.forced
+        assert not result.factorable  # forced ≠ certified
+
+    def test_force_factor_on_certified_is_not_forced(self):
+        result = optimize(
+            three_rule_tc_program(), parse_query("t(0, Y)"), force_factor=True
+        )
+        assert not result.forced
+        assert result.factorable
+
+
+class TestResultSurface:
+    def test_stats_returned(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+        _, stats = result.answers(chain_edb(5))
+        assert stats.facts > 0 and stats.seconds >= 0
+
+    def test_evaluate_stage_names(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+        with pytest.raises(ValueError):
+            result.evaluate_stage("nope", chain_edb(3))
+
+    def test_original_stage_uses_original_goal(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(2, Y)"))
+        answers, _ = result.evaluate_stage("original", chain_edb(6))
+        assert answers == oracle_answers(
+            three_rule_tc_program(), parse_query("t(2, Y)"), chain_edb(6)
+        )
+
+    def test_classification_attached(self):
+        result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+        assert result.classification is not None
+        assert result.classification.is_rlc_stable()
+
+    def test_magic_always_available(self):
+        program = parse_program("a(X) :- e(X).")
+        result = optimize(program, parse_query("a(X)"))
+        assert result.magic is not None
+        answers, _ = result.answers(chain_edb(3))
+        # e is binary in chain_edb; a/1 over e/1 yields nothing — and
+        # that must be a clean empty set, not an error.
+        assert answers == set()
+
+    def test_evaluator_kwargs_forwarded(self):
+        from repro.engine.stats import NonTerminationError
+
+        result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+        with pytest.raises(NonTerminationError):
+            result.evaluate_stage("magic", chain_edb(40), max_facts=5)

@@ -1,0 +1,111 @@
+"""Tests for static-argument reduction (Section 5, Examples 5.1/5.2)."""
+
+import random
+
+import pytest
+
+from repro.analysis.adornment import Adornment, adorn
+from repro.core.pipeline import optimize
+from repro.core.reduction import (
+    reduce_static_arguments,
+    static_argument_positions,
+)
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.database import Database
+from repro.workloads.examples import example_51_program, example_52_program
+
+from tests.conftest import oracle_answers
+
+
+def adorned_51():
+    return adorn(example_51_program(), parse_query("p(5, 6, U)"))
+
+
+class TestStaticPositions:
+    def test_example_51_first_position_static(self):
+        adorned = adorned_51()
+        positions = static_argument_positions(
+            adorned.program, "p@bbf", Adornment("bbf")
+        )
+        assert positions == [0]
+
+    def test_non_static_when_variable_changes(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, W), p(W, Y).\np(X, Y) :- e0(X, Y)."
+        )
+        adorned = adorn(program, parse_query("p(1, Y)"))
+        assert static_argument_positions(adorned.program, "p@bf", Adornment("bf")) == []
+
+    def test_free_positions_never_static(self):
+        adorned = adorned_51()
+        positions = static_argument_positions(
+            adorned.program, "p@bbf", Adornment("bbf")
+        )
+        assert 2 not in positions
+
+
+class TestReduce:
+    def test_example_51_reduced_shape(self):
+        adorned = adorned_51()
+        result = reduce_static_arguments(adorned.program, adorned.goal)
+        assert result.removed_positions == (0,)
+        assert result.adornment == "bf"
+        # every reduced literal has arity 2, the constant 5 appears in a(5)
+        for rule in result.program:
+            for lit in (rule.head, *rule.body):
+                if lit.predicate == result.reduced_predicate:
+                    assert lit.arity == 2
+        assert "a(5)" in str(result.program)
+
+    def test_reduction_preserves_answers(self):
+        rng = random.Random(0)
+        edb = Database.from_dict(
+            {
+                "a": [(5,)],
+                "d": [(rng.randrange(8), rng.randrange(8)) for _ in range(20)],
+                "exit": [(5, rng.randrange(8), rng.randrange(8)) for _ in range(12)]
+                + [(5, 6, 0), (5, 6, 1)],
+            }
+        )
+        goal = parse_query("p(5, 6, U)")
+        result = optimize(example_51_program(), goal)
+        assert result.reduction is not None
+        best, _ = result.answers(edb)
+        assert best == oracle_answers(example_51_program(), goal, edb)
+
+    def test_example_52_pseudo_left_linear(self):
+        goal = parse_query("p(5, 6, U)")
+        result = optimize(example_52_program(), goal)
+        assert result.reduction is not None
+        assert result.report is not None and result.report.factorable
+        rng = random.Random(1)
+        edb = Database.from_dict(
+            {
+                "d": [(rng.randrange(8), 5, rng.randrange(8)) for _ in range(20)],
+                "exit": [(5, 6, rng.randrange(8)) for _ in range(6)],
+            }
+        )
+        best, _ = result.answers(edb)
+        assert best == oracle_answers(example_52_program(), goal, edb)
+
+    def test_no_static_positions_raises(self):
+        program = parse_program(
+            "p(X, Y) :- e(X, W), p(W, Y).\np(X, Y) :- e0(X, Y)."
+        )
+        adorned = adorn(program, parse_query("p(1, Y)"))
+        with pytest.raises(ValueError):
+            reduce_static_arguments(adorned.program, adorned.goal)
+
+    def test_reduce_requires_ground_query_arg(self):
+        adorned = adorned_51()
+        from repro.datalog.parser import parse_literal
+
+        with pytest.raises(ValueError):
+            reduce_static_arguments(
+                adorned.program, parse_literal("p@bbf(V, 6, U)"), positions=[0]
+            )
+
+    def test_reduce_rejects_free_position(self):
+        adorned = adorned_51()
+        with pytest.raises(ValueError):
+            reduce_static_arguments(adorned.program, adorned.goal, positions=[2])

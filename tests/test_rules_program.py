@@ -1,0 +1,102 @@
+"""Unit tests for rules and programs."""
+
+import pytest
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.program import Program
+from repro.datalog.rules import Fact, Rule
+from repro.datalog.terms import Constant, Variable
+
+
+class TestLiteral:
+    def test_signature(self):
+        lit = Literal("p", (Constant(1), Variable("X")))
+        assert lit.signature == ("p", 2)
+
+    def test_variables_order(self):
+        lit = Literal("p", (Variable("Y"), Variable("X"), Variable("Y")))
+        assert [v.name for v in lit.variables()] == ["Y", "X"]
+
+    def test_with_predicate(self):
+        lit = Literal("p", (Constant(1),))
+        assert lit.with_predicate("q") == Literal("q", (Constant(1),))
+
+    def test_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Literal("p", (1,))
+
+
+class TestRule:
+    def test_is_fact(self):
+        assert parse_rule("e(1, 2).").is_fact()
+        assert not parse_rule("e(X, 2).").is_fact()
+        assert not parse_rule("e(1) :- f(1).").is_fact()
+
+    def test_range_restriction(self):
+        assert parse_rule("p(X) :- q(X).").is_range_restricted()
+        assert not parse_rule("p(X, Y) :- q(X).").is_range_restricted()
+
+    def test_variables_order(self):
+        rule = parse_rule("p(X, Y) :- q(Y, Z).")
+        assert [v.name for v in rule.variables()] == ["X", "Y", "Z"]
+
+    def test_body_literals_filter(self):
+        rule = parse_rule("p(X) :- q(X), r(X), q(X).")
+        assert len(rule.body_literals("q")) == 2
+
+    def test_fact_constructor_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Fact("e", (Variable("X"),))
+
+    def test_rename_variables(self):
+        rule = parse_rule("p(X) :- q(X, Y).")
+        renamed = rule.rename_variables(
+            {Variable("X"): Variable("A"), Variable("Y"): Variable("B")}
+        )
+        assert renamed == parse_rule("p(A) :- q(A, B).")
+
+
+class TestProgram:
+    def test_idb_edb_split(self):
+        program = parse_program("t(X, Y) :- e(X, Y).")
+        assert program.idb_signatures == frozenset({("t", 2)})
+        assert program.edb_signatures == frozenset({("e", 2)})
+
+    def test_rules_for(self):
+        program = parse_program("t(X) :- e(X).\nt(X) :- f(X).\ns(X) :- t(X).")
+        assert len(program.rules_for("t")) == 2
+
+    def test_replace_rule(self):
+        program = parse_program("a(X) :- b(X).")
+        old = program.rules[0]
+        new = parse_rule("a(X) :- c(X).")
+        replaced = program.replace_rule(old, [new])
+        assert list(replaced.rules) == [new]
+
+    def test_replace_missing_rule_raises(self):
+        program = parse_program("a(X) :- b(X).")
+        with pytest.raises(ValueError):
+            program.replace_rule(parse_rule("z(X) :- b(X)."), [])
+
+    def test_remove_rule(self):
+        program = parse_program("a(X) :- b(X).\na(X) :- c(X).")
+        removed = program.remove_rule(program.rules[0])
+        assert len(removed) == 1
+
+    def test_uses_function_symbols(self):
+        assert parse_program("p(X) :- q(f(X)).").uses_function_symbols()
+        assert not parse_program("p(X) :- q(X).").uses_function_symbols()
+
+    def test_check_range_restricted(self):
+        with pytest.raises(ValueError):
+            parse_program("p(X, Y) :- q(X).").check_range_restricted()
+
+    def test_facts_and_proper_rules(self):
+        program = parse_program("e(1, 2).\nt(X) :- e(X, _).")
+        assert len(program.facts()) == 1
+        assert len(program.proper_rules()) == 1
+
+    def test_declared_edb(self):
+        program = parse_program("t(X) :- e(X).").declare_edb([("extra", 1)])
+        assert ("extra", 1) in program.edb_signatures

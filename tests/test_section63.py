@@ -1,0 +1,93 @@
+"""Tests for Section 6.3: the [9] rewritings equal Magic + factoring."""
+
+import pytest
+
+from repro.analysis.isomorphism import programs_isomorphic
+from repro.core.pipeline import optimize
+from repro.core.section63 import NotLinearError, rewrite_linear
+from repro.datalog.parser import parse_program, parse_query
+from repro.engine.seminaive import seminaive_eval
+from repro.workloads.graphs import chain_edb, random_digraph_edb
+
+from tests.conftest import oracle_answers
+
+RIGHT_TC = parse_program("t(X, Y) :- e(X, W), t(W, Y).\nt(X, Y) :- e(X, Y).")
+LEFT_TC = parse_program("t(X, Y) :- t(X, W), e(W, Y).\nt(X, Y) :- e(X, Y).")
+MIXED = parse_program(
+    """
+    t(X, Y) :- t(X, W), e(W, Y).
+    t(X, Y) :- e(X, W), t(W, Y).
+    t(X, Y) :- e(X, Y).
+    """
+)
+
+
+class TestRewriteLinear:
+    @pytest.mark.parametrize("program", [RIGHT_TC, LEFT_TC, MIXED])
+    def test_answers_match_oracle(self, program):
+        goal = parse_query("t(0, Y)")
+        rewritten, query_head = rewrite_linear(program, goal)
+        edb = random_digraph_edb(10, 25, seed=6)
+        db, _ = seminaive_eval(rewritten, edb)
+        assert db.query(query_head) == oracle_answers(program, goal, edb)
+
+    @pytest.mark.parametrize(
+        "program", [RIGHT_TC, LEFT_TC, MIXED], ids=["right", "left", "mixed"]
+    )
+    def test_identical_to_magic_plus_factoring(self, program):
+        """Section 6.3: 'the Magic Sets plus factoring transformation
+        produces the same final program as the rewriting algorithms
+        from that paper' — as a program isomorphism."""
+        goal = parse_query("t(0, Y)")
+        rewritten, _ = rewrite_linear(program, goal)
+        pipeline = optimize(program, goal)
+        assert pipeline.report.factorable
+        assert programs_isomorphic(rewritten, pipeline.simplified.program)
+
+    def test_right_linear_shape(self):
+        rewritten, _ = rewrite_linear(RIGHT_TC, parse_query("t(5, Y)"))
+        rules = {str(r) for r in rewritten}
+        assert rules == {
+            "m_t@bf(5).",
+            "m_t@bf(W) :- m_t@bf(X), e(X, W).",
+            "f_t@bf(Y) :- m_t@bf(X), e(X, Y).",
+            "query(Y) :- f_t@bf(Y).",
+        }
+
+    def test_left_linear_shape(self):
+        rewritten, _ = rewrite_linear(LEFT_TC, parse_query("t(5, Y)"))
+        rules = {str(r) for r in rewritten}
+        assert rules == {
+            "m_t@bf(5).",
+            "f_t@bf(Y) :- m_t@bf(X), e(X, Y).",
+            "f_t@bf(Y) :- f_t@bf(W), e(W, Y).",
+            "query(Y) :- f_t@bf(Y).",
+        }
+
+    def test_combined_rejected(self):
+        nonlinear = parse_program(
+            "t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, Y)."
+        )
+        with pytest.raises(NotLinearError):
+            rewrite_linear(nonlinear, parse_query("t(0, Y)"))
+
+    def test_side_conjunction_rejected(self):
+        guarded = parse_program(
+            "t(X, Y) :- e(X, W), t(W, Y), r(Y).\nt(X, Y) :- e(X, Y)."
+        )
+        with pytest.raises(NotLinearError):
+            rewrite_linear(guarded, parse_query("t(0, Y)"))
+
+    def test_multi_left_linear(self):
+        multi = parse_program(
+            """
+            t(X, Y) :- t(X, U), t(X, V), both(U, V, Y).
+            t(X, Y) :- e(X, Y).
+            """
+        )
+        goal = parse_query("t(0, Y)")
+        rewritten, query_head = rewrite_linear(multi, goal)
+        edb = chain_edb(4)
+        edb.add_facts("both", [(1, 2, 9), (2, 3, 11)])
+        db, _ = seminaive_eval(rewritten, edb)
+        assert db.query(query_head) == oracle_answers(multi, goal, edb)

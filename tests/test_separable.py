@@ -1,0 +1,86 @@
+"""Tests for separable recursions (Section 6.2)."""
+
+from repro.analysis.separable import (
+    analyze_separability,
+    fixed_variables,
+    is_reducible_separable,
+    is_separable,
+    shifting_variables,
+)
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.terms import Variable
+from repro.workloads.examples import same_generation_program
+
+
+class TestVariableKinds:
+    def test_fixed(self):
+        rule = parse_rule("t(X, Y) :- t(X, W), e(W, Y).")
+        assert fixed_variables(rule, "t") == {Variable("X")}
+
+    def test_shifting(self):
+        rule = parse_rule("t(X, Y) :- t(Y, W), e(W, X).")
+        assert Variable("Y") in shifting_variables(rule, "t")
+
+    def test_no_shifting_in_tc(self):
+        rule = parse_rule("t(X, Y) :- e(X, U), t(U, Y).")
+        assert shifting_variables(rule, "t") == set()
+
+
+class TestSeparability:
+    def test_two_sided_tc_separable_and_reducible(self):
+        program = parse_program(
+            """
+            t(X, Y) :- t(X, W), down(W, Y).
+            t(X, Y) :- up(X, U), t(U, Y).
+            t(X, Y) :- flat(X, Y).
+            """
+        )
+        report = analyze_separability(program, "t")
+        assert report.separable
+        assert report.reducible
+        # the two rules touch disjoint position groups {1} and {0}
+        assert set(report.t_h_sets) == {frozenset({1}), frozenset({0})}
+
+    def test_same_generation_not_separable(self):
+        report = analyze_separability(same_generation_program(), "sg")
+        assert not report.separable
+        assert any("components" in reason for reason in report.reasons)
+
+    def test_shifting_blocks(self):
+        program = parse_program(
+            "t(X, Y) :- t(Y, W), e(W, X).\nt(X, Y) :- e(X, Y)."
+        )
+        report = analyze_separability(program, "t")
+        assert not report.separable
+        assert any("shifting" in reason for reason in report.reasons)
+
+    def test_nonlinear_blocks(self):
+        program = parse_program(
+            "t(X, Y) :- t(X, W), t(W, Y).\nt(X, Y) :- e(X, Y)."
+        )
+        assert not is_separable(program, "t")
+
+    def test_fixed_variable_in_th_not_reducible(self):
+        # a(X) touches the fixed variable X's position: separable but
+        # not reducible (the A-nonempty case of Section 6.2).
+        program = parse_program(
+            "t(X, Y) :- a(X, W), t(X, W2), b(W2, W, Y).\nt(X, Y) :- e(X, Y)."
+        )
+        report = analyze_separability(program, "t")
+        if report.separable:
+            assert not report.reducible
+
+    def test_t_h_mismatch_blocks(self):
+        # body position 1 touches d but head position 1 touches nothing
+        program = parse_program(
+            "t(X, Y) :- t(X, W), d(W).\nt(X, Y) :- e(X, Y)."
+        )
+        report = analyze_separability(program, "t")
+        assert not report.separable
+
+    def test_helpers(self):
+        program = parse_program(
+            "t(X, Y) :- t(X, W), down(W, Y).\nt(X, Y) :- flat(X, Y)."
+        )
+        assert is_separable(program, "t")
+        assert is_reducible_separable(program, "t")

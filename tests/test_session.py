@@ -1,0 +1,106 @@
+"""Tests for the high-level DeductiveDatabase session API."""
+
+import pytest
+
+from repro.session import DeductiveDatabase, QueryReport
+
+
+@pytest.fixture
+def reach_db():
+    db = DeductiveDatabase()
+    db.rules(
+        """
+        reach(X, Y) :- edge(X, Y).
+        reach(X, Y) :- edge(X, W), reach(W, Y).
+        """
+    )
+    db.facts("edge", [(1, 2), (2, 3), (3, 4), (5, 1)])
+    return db
+
+
+class TestAsk:
+    def test_basic_query(self, reach_db):
+        assert reach_db.ask("reach(1, Y)") == {(2,), (3,), (4,)}
+
+    def test_ground_query(self, reach_db):
+        assert reach_db.ask("reach(1, 4)") == {()}
+        assert reach_db.ask("reach(4, 1)") == set()
+
+    def test_holds(self, reach_db):
+        assert reach_db.holds("reach(5, 4)")
+        assert not reach_db.holds("reach(2, 1)")
+
+    def test_explain_reports_factoring(self, reach_db):
+        report = reach_db.explain("reach(1, Y)")
+        assert isinstance(report, QueryReport)
+        assert report.strategy == "factored"
+        assert report.certified_by == "Theorem 4.1 (selection-pushing)"
+        assert report.stats.facts > 0
+
+    def test_all_free_query_falls_back(self, reach_db):
+        report = reach_db.explain("reach(X, Y)")
+        assert report.strategy == "magic"
+        assert len(report.answers) == 4 + 3 + 2 + 1  # closure of the chain 5->1->2->3->4
+
+    def test_plan_cache_reused(self, reach_db):
+        reach_db.ask("reach(1, Y)")
+        plan_before = reach_db._plans[("reach", 2, "bf")]
+        reach_db.ask("reach(1, Y)")
+        assert reach_db._plans[("reach", 2, "bf")] is plan_before
+
+    def test_replan_on_new_constant(self, reach_db):
+        assert reach_db.ask("reach(1, Y)") == {(2,), (3,), (4,)}
+        assert reach_db.ask("reach(5, Y)") == {(1,), (2,), (3,), (4,)}
+
+    def test_facts_added_after_planning(self, reach_db):
+        reach_db.ask("reach(1, Y)")
+        reach_db.fact("edge", 4, 9)
+        assert (9,) in reach_db.ask("reach(1, Y)")
+
+
+class TestLoading:
+    def test_rules_with_inline_facts(self):
+        db = DeductiveDatabase()
+        db.rules("edge(1, 2).\nreach(X, Y) :- edge(X, Y).")
+        assert db.ask("reach(1, Y)") == {(2,)}
+
+    def test_string_constants(self):
+        db = DeductiveDatabase()
+        db.rules("likes(X, Z) :- friend(X, Y), likes(Y, Z).")
+        db.fact("friend", "ann", "bo")
+        db.fact("likes", "bo", "jazz")
+        # likes is both EDB and IDB here — engine tolerates it.
+        assert ("jazz",) in db.ask("likes(ann, Z)")
+
+    def test_adding_rules_clears_plans(self, reach_db):
+        reach_db.ask("reach(1, Y)")
+        reach_db.rules("reach(X, X) :- edge(X, _).")
+        assert (1,) in reach_db.ask("reach(1, Y)")
+
+
+class TestIntrospection:
+    def test_compiled_program_is_unary(self, reach_db):
+        program = reach_db.compiled_program("reach(1, Y)")
+        for rule in program:
+            for lit in (rule.head, *rule.body):
+                if lit.predicate.startswith(("m_reach", "f_reach")):
+                    assert lit.arity == 1
+
+    def test_plan_summary_mentions_theorem(self, reach_db):
+        summary = reach_db.plan_summary("reach(1, Y)")
+        assert "Theorem 4.1" in summary
+        assert "compiled program" in summary
+
+    def test_plan_summary_non_factorable(self):
+        db = DeductiveDatabase()
+        db.rules(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            """
+        )
+        db.facts("up", [(1, 0)])
+        db.facts("down", [(0, 2)])
+        db.facts("flat", [(0, 0)])
+        summary = db.plan_summary("sg(1, Y)")
+        assert "Magic Sets" in summary

@@ -1,0 +1,110 @@
+"""Tests for the Section 5 simplifier."""
+
+import pytest
+
+from repro.core.factoring import factor_magic
+from repro.core.pipeline import optimize
+from repro.core.simplify import simplify_factored
+from repro.datalog.parser import parse_program, parse_query, parse_rule
+from repro.engine.seminaive import seminaive_eval
+from repro.transforms.magic import magic_transform
+from repro.workloads.examples import three_rule_tc_program
+from repro.workloads.graphs import chain_edb, random_digraph_edb
+from repro.workloads.lists import pmem_edb, pmem_program, pmem_query
+
+from tests.conftest import oracle_answers
+
+
+def tc_simplified(goal_text="t(5, Y)", **kwargs):
+    magic = magic_transform(three_rule_tc_program(), parse_query(goal_text))
+    factored = factor_magic(magic)
+    return simplify_factored(factored, **kwargs)
+
+
+class TestExample53:
+    """The paper's Example 5.3 walk-through, end state checked exactly."""
+
+    def test_final_unary_program(self):
+        simplified, trace = tc_simplified()
+        text = {str(rule) for rule in simplified.program}
+        assert text == {
+            "m_t@bf(5).",
+            "m_t@bf(W) :- f_t@bf(W).",
+            "f_t@bf(Y) :- m_t@bf(X), e(X, Y).",
+            "query(Y) :- f_t@bf(Y).",
+        }
+
+    def test_trace_records_each_proposition(self):
+        _, trace = tc_simplified()
+        passes = {step.split("]")[0].strip("[") for step in trace.steps}
+        assert {"prop-5.4a", "prop-5.1", "prop-5.2", "prop-5.3",
+                "prop-5.4b", "uniform"} <= passes
+
+    def test_without_uniform_equivalence(self):
+        simplified, _ = tc_simplified(use_uniform_equivalence=False)
+        # the redundant recursive rules survive
+        rules = {str(r) for r in simplified.program}
+        assert "m_t@bf(W) :- m_t@bf(X), e(X, W)." in rules
+        assert len(simplified.program) == 6
+
+    def test_simplified_preserves_answers(self):
+        simplified, _ = tc_simplified("t(0, Y)")
+        edb = random_digraph_edb(12, 30, seed=4)
+        db, _ = seminaive_eval(simplified.program, edb)
+        assert db.query(simplified.query_head) == oracle_answers(
+            three_rule_tc_program(), parse_query("t(0, Y)"), edb
+        )
+
+
+class TestExample46:
+    def test_pmem_final_program(self):
+        """Example 4.6's final program: the linear m_pmem recursion."""
+        magic = magic_transform(pmem_program(), pmem_query(3))
+        simplified, trace = simplify_factored(factor_magic(magic))
+        rules = {str(r) for r in simplified.program}
+        assert rules == {
+            "m_pmem@fb([0, 1, 2]).",
+            "m_pmem@fb(T) :- m_pmem@fb([H | T]).",
+            "f_pmem@fb(X) :- m_pmem@fb([X | T]), p(X).",
+            "query(X) :- f_pmem@fb(X).",
+        }
+        assert any("skipped" in s and "function symbols" in s for s in trace.steps)
+
+    def test_pmem_simplified_answers(self):
+        magic = magic_transform(pmem_program(), pmem_query(6))
+        simplified, _ = simplify_factored(factor_magic(magic))
+        db, _ = seminaive_eval(simplified.program, pmem_edb(6, satisfying=[1, 3]))
+        values = {t[0].value for t in db.query(simplified.query_head)}
+        assert values == {1, 3}
+
+
+class TestPassSafety:
+    def test_no_mutual_bp_fp_deletion(self):
+        """A body must keep at least one of its bp/fp witnesses."""
+        from repro.core.factoring import FactoredProgram
+        from repro.datalog.program import Program
+
+        program = parse_program("flag :- b_p(X), f_p(Y).\nquery(Z) :- f_p(Z), flag.")
+        factored = FactoredProgram(
+            program=program,
+            predicate="p",
+            first_name="b_p",
+            second_name="f_p",
+            first_positions=(0,),
+            second_positions=(1,),
+            magic_predicate="m_p",
+            seed_args=None,
+            query_head=parse_query("query(Z)"),
+        )
+        simplified, _ = simplify_factored(factored, use_uniform_equivalence=False)
+        flag_rules = simplified.program.rules_for("flag")
+        assert flag_rules and len(flag_rules[0].body) >= 1
+
+    def test_seeds_never_deleted(self):
+        simplified, _ = tc_simplified()
+        assert parse_rule("m_t@bf(5).") in simplified.program.rules
+
+    def test_idempotent(self):
+        simplified, _ = tc_simplified()
+        again, trace = simplify_factored(simplified)
+        assert again.program == simplified.program

@@ -1,0 +1,65 @@
+"""Tests for the Section 4.1 standard-form rewriting."""
+
+from repro.analysis.standard_form import to_standard_form
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+
+
+def standardize(text, predicates):
+    return to_standard_form(parse_program(text), set(predicates))
+
+
+class TestStandardForm:
+    def test_already_standard(self):
+        result = standardize("p(X, Y) :- p(X, W), e(W, Y).", {"p"})
+        assert not result.changed
+        assert result.infinite_predicates == set()
+
+    def test_constant_replaced(self):
+        result = standardize("p(X, Y) :- p(X, 5), e(Y).", {"p"})
+        assert result.changed
+        rule = result.program.rules[0]
+        p_body = [l for l in rule.body if l.predicate == "p"][0]
+        assert all(isinstance(a, Variable) for a in p_body.args)
+        equals = [l for l in rule.body if l.predicate == "equal"]
+        assert len(equals) == 1
+        assert ("equal", 2) in result.infinite_predicates
+
+    def test_repeated_variable_split(self):
+        result = standardize("p(X, X) :- e(X).", {"p"})
+        head = result.program.rules[0].head
+        assert head.args[0] != head.args[1]
+        assert any(l.predicate == "equal" for l in result.program.rules[0].body)
+
+    def test_list_term_flattened(self):
+        result = standardize("pmem(X, [X | T]) :- p(X).", {"pmem"})
+        rule = result.program.rules[0]
+        assert all(isinstance(a, Variable) for a in rule.head.args)
+        lists = [l for l in rule.body if l.predicate == "list"]
+        assert len(lists) == 1
+        assert ("list", 3) in result.infinite_predicates
+        # list(H, T, L): first two args are the cell contents.
+        assert lists[0].args[1] == Variable("T")
+
+    def test_nested_compound(self):
+        result = standardize("p(f(g(X))) :- e(X).", {"p"})
+        rule = result.program.rules[0]
+        fns = {l.predicate for l in rule.body}
+        assert "fn_f" in fns and "fn_g" in fns
+
+    def test_repeated_var_in_head_and_body_consistent(self):
+        """Head standardization must not rename shared body variables."""
+        result = standardize("p(X, 3) :- p(X, W), d(W).", {"p"})
+        rule = result.program.rules[0]
+        body_p = [l for l in rule.body if l.predicate == "p"][0]
+        assert rule.head.args[0] == body_p.args[0]
+
+    def test_other_predicates_untouched(self):
+        result = standardize("p(X, Y) :- q(X, 5), p(X, Y).", {"p"})
+        q_lits = [
+            l
+            for r in result.program.rules
+            for l in r.body
+            if l.predicate == "q"
+        ]
+        assert q_lits[0].args[1].is_ground()

@@ -1,0 +1,97 @@
+"""Tests for supplementary Magic Sets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.adornment import adorn
+from repro.datalog.parser import parse_program, parse_literal, parse_query
+from repro.engine.seminaive import seminaive_eval
+from repro.transforms.magic import magic_sets
+from repro.transforms.supplementary import supplementary_magic_sets
+from repro.workloads.examples import three_rule_tc_program
+from repro.workloads.graphs import chain_edb, random_digraph_edb
+
+from tests.conftest import oracle_answers
+
+
+def both_transforms(program, goal):
+    adorned = adorn(program, goal)
+    return magic_sets(adorned), supplementary_magic_sets(adorned)
+
+
+class TestStructure:
+    def test_supplementary_predicates_created(self):
+        _, sup = both_transforms(three_rule_tc_program(), parse_query("t(5, Y)"))
+        sup_preds = {
+            r.head.predicate
+            for r in sup.program
+            if r.head.predicate.startswith("sup~")
+        }
+        assert sup_preds  # the recursive rules got chains
+
+    def test_exit_rule_stays_plain(self):
+        _, sup = both_transforms(three_rule_tc_program(), parse_query("t(5, Y)"))
+        exit_rules = [
+            r
+            for r in sup.program.rules_for("t@bf")
+            if not any(l.predicate.startswith("sup~") for l in r.body)
+        ]
+        # the exit rule keeps the guard + e(X, Y) form
+        assert any(
+            [l.predicate for l in r.body] == ["m_t@bf", "e"] for r in exit_rules
+        )
+
+    def test_magic_rules_read_supplementaries(self):
+        _, sup = both_transforms(three_rule_tc_program(), parse_query("t(5, Y)"))
+        magic_rules = [r for r in sup.program.rules_for("m_t@bf") if r.body]
+        assert all(
+            r.body[0].predicate.startswith(("sup~", "m_"))
+            for r in magic_rules
+        )
+
+
+class TestSemantics:
+    def test_same_answers_as_plain_magic(self):
+        goal = parse_query("t(0, Y)")
+        plain, sup = both_transforms(three_rule_tc_program(), goal)
+        edb = random_digraph_edb(12, 30, seed=3)
+        plain_db, _ = seminaive_eval(plain.program, edb)
+        sup_db, _ = seminaive_eval(sup.program, edb)
+        assert plain.answers(plain_db) == sup.answers(sup_db)
+
+    def test_matches_oracle_on_chain(self):
+        goal = parse_query("t(2, Y)")
+        program = three_rule_tc_program()
+        _, sup = both_transforms(program, goal)
+        edb = chain_edb(9)
+        db, _ = seminaive_eval(sup.program, edb)
+        assert sup.answers(db) == oracle_answers(program, goal, edb)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 9),
+        seed=st.integers(0, 30),
+        source=st.integers(0, 8),
+    )
+    def test_random_graphs(self, n, seed, source):
+        goal = parse_literal(f"t({source % n}, Y)")
+        program = three_rule_tc_program()
+        _, sup = both_transforms(program, goal)
+        edb = random_digraph_edb(n, 2 * n, seed)
+        db, _ = seminaive_eval(sup.program, edb)
+        assert sup.answers(db) == oracle_answers(program, goal, edb)
+
+    def test_multi_predicate_program(self):
+        program = parse_program(
+            """
+            path(X, Y) :- hop(X, Y).
+            path(X, Y) :- hop(X, W), link(W, U), path(U, Y).
+            link(A, B) :- wire(A, B).
+            """
+        )
+        goal = parse_query("path(0, Y)")
+        _, sup = both_transforms(program, goal)
+        edb = random_digraph_edb(8, 16, seed=1, relation="hop")
+        edb.add_facts("wire", [(i, i) for i in range(8)])
+        db, _ = seminaive_eval(sup.program, edb)
+        assert sup.answers(db) == oracle_answers(program, goal, edb)

@@ -1,0 +1,167 @@
+"""Tests for the factorability recognizers (Theorems 4.1-4.3)."""
+
+import pytest
+
+from repro.analysis.adornment import Adornment, adorn
+from repro.analysis.classify import classify_program
+from repro.core.theorems import (
+    check_factorability,
+    is_answer_propagating,
+    is_selection_pushing,
+    is_symmetric,
+)
+from repro.datalog.parser import parse_program, parse_query
+from repro.workloads.examples import (
+    example_43_edb,
+    example_43_program,
+    example_44_edb,
+    example_44_program,
+    example_45_edb,
+    example_45_program,
+    same_generation_program,
+    three_rule_tc_program,
+)
+from repro.workloads.lists import pmem_program, pmem_query
+
+
+def classify(program, goal):
+    adorned = adorn(program, goal)
+    from repro.analysis.adornment import split_adorned_name
+
+    base, adn = split_adorned_name(adorned.goal.predicate)
+    return classify_program(adorned.program, adorned.goal.predicate, adn)
+
+
+class TestSelectionPushing:
+    def test_three_rule_tc_syntactic(self):
+        classification = classify(three_rule_tc_program(), parse_query("t(5, Y)"))
+        assert is_selection_pushing(classification)
+
+    def test_pmem_syntactic(self):
+        classification = classify(pmem_program(), pmem_query(4))
+        assert is_selection_pushing(classification)
+
+    def test_example_43_needs_instance(self):
+        classification = classify(example_43_program(), parse_query("p(5, Y)"))
+        assert not is_selection_pushing(classification)
+        assert is_selection_pushing(classification, edb=example_43_edb())
+
+    def test_free_exit_violation_detected(self):
+        # exit targets constrained by r1 only in rule 1: without the
+        # EDB promise, containment fails.
+        program = parse_program(
+            """
+            p(X, Y) :- f(X, V), p(V, Y), r1(Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        reasons = []
+        assert not is_selection_pushing(classification, reasons=reasons)
+        assert any("free_exit" in r for r in reasons)
+
+    def test_syntactic_free_exit_containment(self):
+        # right = exit's own relation: containment holds syntactically.
+        program = parse_program(
+            """
+            p(X, Y) :- f(X, V), p(V, Y), e(W, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        assert is_selection_pushing(classification)
+
+    def test_left_conjunction_mismatch(self):
+        program = parse_program(
+            """
+            p(X, Y) :- l1(X), p(X, U), e(U, Y).
+            p(X, Y) :- l2(X), p(X, U), e(U, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        reasons = []
+        assert not is_selection_pushing(classification, reasons=reasons)
+        assert any("left conjunctions differ" in r for r in reasons)
+
+    def test_not_rlc_stable_rejected(self):
+        classification = classify(same_generation_program(), parse_query("sg(1, Y)"))
+        assert not is_selection_pushing(classification)
+
+
+class TestSymmetric:
+    def test_example_44_instance(self):
+        classification = classify(example_44_program(), parse_query("p(5, Y)"))
+        assert is_symmetric(classification, edb=example_44_edb())
+
+    def test_rejects_right_linear_mix(self):
+        classification = classify(example_45_program(), parse_query("p(5, Y)"))
+        assert not is_symmetric(classification, edb=example_45_edb())
+
+    def test_middle_equivalence_required(self):
+        program = parse_program(
+            """
+            p(X, Y) :- p(X, U), c1(U, V), p(V, Y), e(W, Y).
+            p(X, Y) :- p(X, U), c2(U, V), p(V, Y), e(W, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        reasons = []
+        assert not is_symmetric(classification, reasons=reasons)
+        assert any("middle" in r for r in reasons)
+
+    def test_syntactic_symmetric(self):
+        program = parse_program(
+            """
+            p(X, Y) :- p(X, U), c(U, V), p(V, Y), e(W, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        assert is_symmetric(classification)
+
+
+class TestAnswerPropagating:
+    def test_example_45_instance(self):
+        classification = classify(example_45_program(), parse_query("p(5, Y)"))
+        assert is_answer_propagating(classification, edb=example_45_edb())
+
+    def test_includes_symmetric_programs(self):
+        program = parse_program(
+            """
+            p(X, Y) :- p(X, U), c(U, V), p(V, Y), e(W, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        assert is_answer_propagating(classification)
+
+    def test_left_linear_bound_exit_condition(self):
+        # bound_exit(X) :- e(X, Y); bound of the left-linear rule is
+        # l(X): containment fails syntactically.
+        program = parse_program(
+            """
+            p(X, Y) :- l(X), p(X, U), d(U, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        classification = classify(program, parse_query("p(5, Y)"))
+        reasons = []
+        assert not is_answer_propagating(classification, reasons=reasons)
+        assert any("bound_exit" in r for r in reasons)
+
+
+class TestReport:
+    def test_tc_report(self):
+        classification = classify(three_rule_tc_program(), parse_query("t(5, Y)"))
+        report = check_factorability(classification)
+        assert report.factorable
+        assert report.certified_by == "Theorem 4.1 (selection-pushing)"
+
+    def test_same_generation_report(self):
+        classification = classify(same_generation_program(), parse_query("sg(1, Y)"))
+        report = check_factorability(classification)
+        assert not report.factorable
+        assert report.certified_by is None
+        assert report.reasons

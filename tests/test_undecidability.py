@@ -1,0 +1,68 @@
+"""Tests for the Theorem 3.1 reduction gadget."""
+
+from repro.core.undecidability import (
+    containment_gadget,
+    factoring_is_valid_on,
+    proof_counterexample_edb,
+)
+from repro.datalog.parser import parse_program
+from repro.engine.database import Database
+
+from tests.conftest import answer_values
+
+
+class TestGadget:
+    def test_proof_counterexample_refutes_12_3(self):
+        """The EDB from the proof: t1'(X,Y), t2'(Z) computes extra tuples."""
+        gadget = containment_gadget()
+        edb = proof_counterexample_edb()
+        assert not factoring_is_valid_on(gadget, "12|3", edb)
+
+    def test_proof_counterexample_exact_tuples(self):
+        from repro.core.undecidability import answers
+
+        gadget = containment_gadget()
+        edb = proof_counterexample_edb()
+        original = answer_values(answers(gadget.original, gadget.goal, edb))
+        rewritten = answer_values(answers(gadget.factored_12_3, gadget.goal, edb))
+        assert original == {(1, 2, 3), (1, 4, 5)}
+        assert rewritten == {(1, 2, 3), (1, 4, 5), (1, 2, 5), (1, 4, 3)}
+
+    def test_1_23_valid_iff_q1_equals_q2(self):
+        gadget = containment_gadget()
+        same = Database.from_dict(
+            {"a1": [(1,)], "a2": [(2,)], "q1": [(3, 4)], "q2": [(3, 4)]}
+        )
+        differ = Database.from_dict(
+            {"a1": [(1,)], "a2": [(2,)], "q1": [(3, 4)], "q2": [(5, 6)]}
+        )
+        assert factoring_is_valid_on(gadget, "1|23", same)
+        assert not factoring_is_valid_on(gadget, "1|23", differ)
+
+    def test_identical_a_relations_always_valid(self):
+        """When a1 == a2 the rewritten program cannot mix rule sources."""
+        gadget = containment_gadget()
+        edb = Database.from_dict(
+            {"a1": [(1,)], "a2": [(1,)], "q1": [(3, 4)], "q2": [(5, 6)]}
+        )
+        assert factoring_is_valid_on(gadget, "1|23", edb)
+
+    def test_idb_queries(self):
+        """q1 and q2 given as (recursive) IDB programs."""
+        q1 = parse_program("q1(X, Y) :- e(X, Y).\nq1(X, Y) :- e(X, W), q1(W, Y).")
+        q2 = parse_program("q2(X, Y) :- e(X, Y).\nq2(X, Y) :- q2(X, W), e(W, Y).")
+        gadget = containment_gadget(q1, q2)
+        # q1 ≡ q2 (both are TC of e): factoring 1|23 is valid on any EDB.
+        edb = Database.from_dict(
+            {"a1": [(1,)], "a2": [(2,)], "e": [(1, 2), (2, 3), (3, 1)]}
+        )
+        assert factoring_is_valid_on(gadget, "1|23", edb)
+
+    def test_idb_queries_differ(self):
+        q1 = parse_program("q1(X, Y) :- e(X, Y).\nq1(X, Y) :- e(X, W), q1(W, Y).")
+        q2 = parse_program("q2(X, Y) :- e(X, Y).")  # only one step
+        gadget = containment_gadget(q1, q2)
+        edb = Database.from_dict(
+            {"a1": [(1,)], "a2": [(2,)], "e": [(1, 2), (2, 3)]}
+        )
+        assert not factoring_is_valid_on(gadget, "1|23", edb)

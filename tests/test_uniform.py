@@ -1,0 +1,133 @@
+"""Tests for uniform containment/equivalence (Sagiv's chase)."""
+
+import pytest
+
+from repro.analysis.uniform import (
+    UniformUndecidedError,
+    chase_derives,
+    freeze_rule,
+    minimize_program,
+    redundant_rules,
+    uniformly_contained,
+    uniformly_equivalent,
+)
+from repro.datalog.parser import parse_program, parse_rule
+
+
+class TestFreeze:
+    def test_freeze_grounds_everything(self):
+        head, db = freeze_rule(parse_rule("p(X, Y) :- q(X, W), r(W, Y)."))
+        assert head.is_ground()
+        assert db.total_facts() == 2
+
+    def test_shared_variables_share_constants(self):
+        head, db = freeze_rule(parse_rule("p(X) :- q(X), r(X)."))
+        q_fact = next(iter(db.facts("q")))
+        r_fact = next(iter(db.facts("r")))
+        assert q_fact == r_fact == (head.args[0],)
+
+
+class TestChase:
+    def test_derivable_rule(self):
+        program = parse_program("p(X) :- a(X).\na(X) :- b(X).")
+        # p(X) :- b(X) is implied
+        assert chase_derives(program, parse_rule("p(X) :- b(X)."))
+
+    def test_underivable_rule(self):
+        program = parse_program("p(X) :- a(X).")
+        assert not chase_derives(program, parse_rule("p(X) :- b(X)."))
+
+    def test_function_symbols_rejected(self):
+        program = parse_program("p(X) :- a(X).")
+        with pytest.raises(UniformUndecidedError):
+            chase_derives(program, parse_rule("p(X) :- a(f(X))."))
+
+
+class TestContainment:
+    def test_reflexive(self):
+        program = parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+        assert uniformly_contained(program, program)
+
+    def test_left_vs_right_linear_tc_not_uniform(self):
+        """The classic separation: left- and right-linear TC compute the
+        same queries over every EDB, but are NOT uniformly equivalent —
+        uniform containment also quantifies over databases containing
+        arbitrary t facts, where one chaining direction cannot simulate
+        the other in a single rule application."""
+        left = parse_program(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), e(W, Y)."
+        )
+        right = parse_program(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y)."
+        )
+        assert not uniformly_contained(left, right)
+        assert not uniformly_contained(right, left)
+
+    def test_linear_contained_in_nonlinear(self):
+        """Linear TC ⊑u nonlinear TC, but not conversely: the nonlinear
+        rule's frozen body (two t facts) gives the linear program no e
+        fact to chain through."""
+        nonlinear = parse_program(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- t(X, W), t(W, Y)."
+        )
+        linear = parse_program(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y)."
+        )
+        assert uniformly_contained(linear, nonlinear)
+        assert not uniformly_contained(nonlinear, linear)
+
+    def test_strict_containment(self):
+        one_step = parse_program("t(X, Y) :- e(X, Y).")
+        closure = parse_program(
+            "t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y)."
+        )
+        assert uniformly_contained(one_step, closure)
+        assert not uniformly_contained(closure, one_step)
+
+    def test_facts_considered(self):
+        with_fact = parse_program("m(5).\nm(Y) :- m(X), e(X, Y).")
+        without = parse_program("m(Y) :- m(X), e(X, Y).")
+        assert uniformly_contained(without, with_fact)
+        assert not uniformly_contained(with_fact, without)
+
+
+class TestRedundancy:
+    def test_example_53_rules(self):
+        """The two rules Example 5.3 deletes are found redundant."""
+        program = parse_program(
+            """
+            m(W) :- f(W).
+            m(W) :- m(X), e(X, W).
+            m(5).
+            f(Y) :- f(W), e(W, Y).
+            f(Y) :- m(X), e(X, Y).
+            q(Y) :- f(Y).
+            """
+        )
+        removed = {str(r) for r in redundant_rules(program)}
+        assert removed == {
+            "m(W) :- m(X), e(X, W).",
+            "f(Y) :- f(W), e(W, Y).",
+        }
+
+    def test_minimize(self):
+        program = parse_program(
+            """
+            m(W) :- f(W).
+            m(W) :- m(X), e(X, W).
+            m(5).
+            f(Y) :- m(X), e(X, Y).
+            q(Y) :- f(Y).
+            """
+        )
+        minimal = minimize_program(program)
+        assert len(minimal) == 4
+        assert uniformly_equivalent(program, minimal)
+
+    def test_facts_never_removed(self):
+        program = parse_program("m(5).\nm(6).")
+        assert redundant_rules(program) == []
+
+    def test_duplicate_rule_removed(self):
+        program = parse_program("p(X) :- e(X).\np(X) :- e(X).")
+        assert len(minimize_program(program)) == 1

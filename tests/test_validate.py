@@ -1,0 +1,70 @@
+"""Tests for the program linter."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.validate import Severity, validate_program
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestValidate:
+    def test_clean_program(self):
+        report = validate_program(
+            parse_program("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, W), t(W, Y).")
+        )
+        # only the sink-predicate note for t (the query root)
+        assert codes(report) <= {"sink-predicate"}
+        assert report.ok
+
+    def test_unsafe_rule_flagged(self):
+        report = validate_program(parse_program("p(X, T) :- q(X)."))
+        assert "unsafe-rule" in codes(report)
+        assert report.ok  # warning, not error
+
+    def test_pmem_flagged_as_unsafe(self):
+        from repro.workloads.lists import pmem_program
+
+        report = validate_program(pmem_program())
+        assert "unsafe-rule" in codes(report)
+
+    def test_arity_conflict(self):
+        report = validate_program(
+            parse_program("p(X) :- e(X, Y), e(X).")
+        )
+        assert "arity-conflict" in codes(report)
+
+    def test_tautological_rule(self):
+        report = validate_program(
+            parse_program("p(X) :- p(X), e(X).")
+        )
+        assert "tautological-rule" in codes(report)
+
+    def test_singleton_variable(self):
+        report = validate_program(parse_program("p(X) :- e(X, Orphan)."))
+        assert "singleton-variable" in codes(report)
+
+    def test_anonymous_not_flagged(self):
+        report = validate_program(parse_program("p(X) :- e(X, _)."))
+        assert "singleton-variable" not in codes(report)
+
+    def test_sink_predicate_noted(self):
+        report = validate_program(
+            parse_program("a(X) :- e(X).\nb(X) :- a(X).")
+        )
+        sink_messages = [
+            d.message for d in report.diagnostics if d.code == "sink-predicate"
+        ]
+        assert any("b/1" in m for m in sink_messages)
+        assert not any("a/1" in m for m in sink_messages)
+
+    def test_raise_on_error_passes_for_warnings(self):
+        report = validate_program(parse_program("p(X) :- e(X, Unused)."))
+        report.raise_on_error()  # warnings only: no raise
+
+    def test_str_rendering(self):
+        report = validate_program(parse_program("p(X) :- e(X, Orphan)."))
+        assert "singleton-variable" in str(report)
+        assert str(validate_program(parse_program("a(X) :- e(X).")))

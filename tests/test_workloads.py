@@ -1,0 +1,130 @@
+"""Tests for the workload generators (the experiment inputs)."""
+
+import pytest
+
+from repro.datalog.parser import parse_literal
+from repro.workloads.examples import (
+    example_43_edb,
+    example_43_violating_edbs,
+    same_generation_edb,
+    same_generation_query_node,
+)
+from repro.workloads.graphs import (
+    chain_edb,
+    complete_edb,
+    cycle_edb,
+    grid_edb,
+    random_digraph_edb,
+    tree_edb,
+)
+from repro.workloads.lists import pmem_edb, pmem_query
+from repro.workloads.synthetic import random_edb, random_program, random_rlc_program
+
+
+class TestGraphs:
+    def test_chain(self):
+        db = chain_edb(5)
+        assert db.total_facts() == 4
+        assert db.has_fact("e", (0, 1)) and db.has_fact("e", (3, 4))
+
+    def test_cycle(self):
+        db = cycle_edb(4)
+        assert db.has_fact("e", (3, 0))
+        assert db.total_facts() == 4
+
+    def test_complete(self):
+        db = complete_edb(4)
+        assert db.total_facts() == 12  # n(n-1), no self loops
+        assert not db.has_fact("e", (1, 1))
+
+    def test_random_deterministic(self):
+        a = random_digraph_edb(10, 20, seed=3)
+        b = random_digraph_edb(10, 20, seed=3)
+        assert a == b
+        c = random_digraph_edb(10, 20, seed=4)
+        assert a != c
+
+    def test_random_edge_budget(self):
+        db = random_digraph_edb(6, 10, seed=1)
+        assert len(db.facts("e")) == 10
+
+    def test_random_cannot_exceed_complete(self):
+        db = random_digraph_edb(3, 100, seed=1)
+        assert len(db.facts("e")) == 6
+
+    def test_tree_structure(self):
+        db = tree_edb(3, 2)
+        assert len(db.facts("up")) == 2 + 4 + 8
+        assert len(db.facts("down")) == 14
+        # every child has exactly one parent
+        children = [c for (c, _) in db.relations[("up", 2)].tuples]
+        assert len(children) == len(set(children))
+
+    def test_grid_edges(self):
+        db = grid_edb(2, 3)
+        # right edges: 2 rows * 2, down edges: 1 * 3
+        assert db.total_facts() == 4 + 3
+
+    def test_custom_relation_name(self):
+        db = chain_edb(3, relation="hop")
+        assert db.has_fact("hop", (0, 1))
+
+
+class TestLists:
+    def test_pmem_query_shape(self):
+        goal = pmem_query(3)
+        assert goal.predicate == "pmem"
+        assert goal.args[1].is_ground()
+
+    def test_pmem_edb_selectivity(self):
+        db = pmem_edb(10, satisfying=[1, 5])
+        assert len(db.facts("p")) == 2
+
+    def test_pmem_edb_default_total(self):
+        assert len(pmem_edb(7).facts("p")) == 7
+
+
+class TestExampleEdbs:
+    def test_example_43_conditions_hold(self):
+        """The generator must satisfy Example 4.3's run-time conditions."""
+        db = example_43_edb(20)
+        e_targets = {b for (_, b) in db.relations[("e", 2)].tuples}
+        for rel in ("r1", "r2", "r3"):
+            members = {x for (x,) in db.relations[(rel, 1)].tuples}
+            assert e_targets <= members
+        f_sources = {a for (a, _) in db.relations[("f", 2)].tuples}
+        l1 = {x for (x,) in db.relations[("l1", 1)].tuples}
+        assert f_sources <= l1
+
+    def test_violating_edbs_are_the_papers(self):
+        cases = example_43_violating_edbs()
+        bound_first_db, _ = cases["bound_first"]
+        assert bound_first_db.has_fact("c1", (6, 2))
+        free_exit_db, _ = cases["free_exit"]
+        assert free_exit_db.has_fact("l1", (5,))
+        assert not free_exit_db.get("r1", 1)
+
+    def test_same_generation_query_node(self):
+        node = same_generation_query_node(3, 2)
+        db = same_generation_edb(3, 2)
+        # the node exists as a child in the tree
+        children = {c.value for (c, _) in db.relations[("up", 2)].tuples}
+        assert node in children
+
+
+class TestSynthetic:
+    def test_rlc_program_has_one_exit(self):
+        program = random_rlc_program(7, rules=3)
+        exits = [
+            r for r in program.rules_for("p") if not r.body_literals("p")
+        ]
+        assert len(exits) == 1
+
+    def test_rlc_deterministic(self):
+        assert random_rlc_program(1) == random_rlc_program(1)
+        assert random_rlc_program(1) != random_rlc_program(2)
+
+    def test_random_edb_covers_pools(self):
+        db = random_edb(0, n=5, edb_pool=2)
+        assert db.get("e0", 2) and db.get("e1", 2)
+        assert db.get("r0", 1)
