@@ -1,0 +1,151 @@
+"""Perf-trajectory entry point: engine wall-time on the headline workloads.
+
+Runs the semi-naive engine on transitive closure (chain) and
+same-generation (tree) with the compiled slot-based plans (the default)
+and with the legacy dict-based interpreter (``use_plans=False``), then
+writes ``BENCH_engine.json`` — one row per (workload, backend) with
+``label``/``n``/``facts``/``inferences``/``seconds`` plus per-workload
+wall-time speedups — so successive PRs leave a comparable perf record.
+
+Input sizes scale with ``REPRO_BENCH_SCALE`` (the acceptance runs use
+2; CI smoke uses 0.25).  Exits non-zero if the two backends disagree on
+``facts``/``inferences`` — the counters are the correctness signature,
+so a bench run doubles as a coarse differential check.
+
+Usage::
+
+    PYTHONPATH=src REPRO_BENCH_SCALE=2 python benchmarks/run_bench.py \
+        [--output BENCH_engine.json] [--best-of 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.harness import Measurement, Series, bench_scale
+from repro.datalog.parser import parse_program
+from repro.engine.seminaive import seminaive_eval
+from repro.workloads.examples import same_generation_edb, same_generation_program
+from repro.workloads.graphs import chain_edb
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    return max(minimum, int(n * bench_scale()))
+
+
+def _sg_depth() -> int:
+    """Tree depth for same-generation: 5 at scale 1, +1 per doubling."""
+    scale = bench_scale()
+    depth = 5
+    while scale >= 2:
+        depth, scale = depth + 1, scale / 2
+    while scale <= 0.5 and depth > 3:
+        depth, scale = depth - 1, scale * 2
+    return depth
+
+
+def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
+    """(name, n, edb/program thunk) for each headline workload."""
+    tc_program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, W), t(W, Y).
+        """
+    )
+    tc_n = scaled(120)
+    depth = _sg_depth()
+    sg_n = 2 ** (depth + 1) - 1  # nodes in the balanced binary tree
+    return [
+        ("tc_chain", tc_n, lambda: (tc_program, chain_edb(tc_n))),
+        (
+            "same_generation",
+            sg_n,
+            lambda: (same_generation_program(), same_generation_edb(depth, 2)),
+        ),
+    ]
+
+
+def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
+    rows: List[Dict[str, object]] = []
+    speedups: Dict[str, float] = {}
+    ok = True
+    series = Series("engine: compiled plans vs legacy interpreter (semi-naive)")
+    for name, n, make in workloads():
+        program, edb = make()
+        results = {}
+        for backend, use_plans in (("compiled", True), ("legacy", False)):
+            best = None
+            for _ in range(best_of):
+                _, stats = seminaive_eval(program, edb, use_plans=use_plans)
+                if best is None or stats.seconds < best.seconds:
+                    best = stats
+            results[backend] = best
+            rows.append(
+                {
+                    "label": f"{name}/{backend}",
+                    "n": n,
+                    "facts": best.facts,
+                    "inferences": best.inferences,
+                    "seconds": round(best.seconds, 6),
+                }
+            )
+            series.add(
+                Measurement(
+                    label=f"{name}/{backend}",
+                    n=n,
+                    facts=best.facts,
+                    inferences=best.inferences,
+                    iterations=best.iterations,
+                    seconds=best.seconds,
+                )
+            )
+        compiled, legacy = results["compiled"], results["legacy"]
+        if (compiled.facts, compiled.inferences) != (legacy.facts, legacy.inferences):
+            print(
+                f"FAIL {name}: counter mismatch — compiled "
+                f"facts={compiled.facts} inferences={compiled.inferences}, legacy "
+                f"facts={legacy.facts} inferences={legacy.inferences}",
+                file=sys.stderr,
+            )
+            ok = False
+        speedups[name] = (
+            legacy.seconds / compiled.seconds if compiled.seconds else float("inf")
+        )
+        series.note(f"{name}: {speedups[name]:.2f}x wall-time speedup")
+    series.show()
+    return rows, speedups, ok
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="where to write the JSON record (default: repo root)",
+    )
+    parser.add_argument(
+        "--best-of",
+        type=int,
+        default=3,
+        help="timing repetitions per configuration; best is recorded",
+    )
+    args = parser.parse_args(argv)
+
+    rows, speedups, ok = run(max(1, args.best_of))
+    record = {
+        "scale": bench_scale(),
+        "rows": rows,
+        "speedup": {name: round(value, 2) for name, value in speedups.items()},
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,15 +11,29 @@ full sweep.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def bench_scale() -> float:
-    """The global input-size multiplier from ``REPRO_BENCH_SCALE``."""
+    """The global input-size multiplier from ``REPRO_BENCH_SCALE``.
+
+    A malformed value warns (naming the bad value) and falls back to
+    1.0 instead of silently rescaling the whole suite.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE")
+    if raw is None:
+        return 1.0
     try:
-        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+        return float(raw)
     except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_BENCH_SCALE={raw!r} "
+            "(not a number); defaulting to 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1.0
 
 

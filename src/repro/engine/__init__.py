@@ -6,9 +6,10 @@ the engine exposes those counters on every run via
 :class:`repro.engine.stats.EvalStats`.
 """
 
-from repro.engine.database import Database, Relation
+from repro.engine.database import Database, Relation, RelationView
 from repro.engine.unify import Substitution, unify, match, unify_terms
 from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.plan import PlanCache, RulePlan, compile_rule
 from repro.engine.naive import naive_eval
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.topdown import topdown_eval, TopDownResult
@@ -17,6 +18,10 @@ from repro.engine.provenance import provenance_eval, explain, DerivationTree
 __all__ = [
     "Database",
     "Relation",
+    "RelationView",
+    "PlanCache",
+    "RulePlan",
+    "compile_rule",
     "Substitution",
     "unify",
     "unify_terms",

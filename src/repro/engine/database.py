@@ -25,16 +25,24 @@ class Relation:
     Index keys are tuples of column positions (sorted); each index maps
     the projection of a tuple onto those columns to the list of tuples
     with that projection.  Indexes are created on first use and kept up
-    to date by :meth:`add`.
+    to date by :meth:`add`; per-index hit counts record whether an
+    index was ever *reused* after being built, so :meth:`copy` can
+    carry hot indexes forward and drop cold ones.
+
+    Insertions also append to an internal log, so a contiguous run of
+    additions (a semi-naive delta) is addressable as a zero-copy
+    :class:`RelationView` via :meth:`view`.
     """
 
-    __slots__ = ("name", "arity", "tuples", "_indexes")
+    __slots__ = ("name", "arity", "tuples", "_log", "_indexes", "_index_hits")
 
     def __init__(self, name: str, arity: int):
         self.name = name
         self.arity = arity
         self.tuples: Set[FactTuple] = set()
+        self._log: List[FactTuple] = []
         self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
+        self._index_hits: Dict[Tuple[int, ...], int] = {}
 
     def add(self, fact: FactTuple) -> bool:
         """Insert ``fact``; returns True if it was new."""
@@ -45,6 +53,7 @@ class Relation:
         if fact in self.tuples:
             return False
         self.tuples.add(fact)
+        self._log.append(fact)
         for positions, index in self._indexes.items():
             key = tuple(fact[i] for i in positions)
             index.setdefault(key, []).append(fact)
@@ -66,6 +75,16 @@ class Relation:
         """
         if not positions:
             return tuple(self.tuples)
+        return self.ensure_index(positions).get(key, ())
+
+    def ensure_index(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[FactTuple, List[FactTuple]]:
+        """The hash index on ``positions``, building it on first use.
+
+        The compiled-plan executor probes the returned dict directly,
+        so the per-candidate cost is one C-level ``dict.get``.
+        """
         index = self._indexes.get(positions)
         if index is None:
             index = {}
@@ -73,12 +92,121 @@ class Relation:
                 k = tuple(fact[i] for i in positions)
                 index.setdefault(k, []).append(fact)
             self._indexes[positions] = index
-        return index.get(key, ())
+            self._index_hits[positions] = 0
+        else:
+            self._index_hits[positions] += 1
+        return index
+
+    def scan(self) -> Set[FactTuple]:
+        """The tuples, for full-scan iteration (no copy)."""
+        return self.tuples
+
+    def fact_set(self) -> Set[FactTuple]:
+        """The tuples as a set, for existence checks (no copy)."""
+        return self.tuples
+
+    def view(self, start: int, stop: int) -> "RelationView":
+        """A read-only view of insertions ``start:stop`` (log order).
+
+        The semi-naive evaluator uses this for delta relations: the
+        facts added during one round are a contiguous log slice, so no
+        tuples are copied and no throwaway relation is built.
+        """
+        return RelationView(self, start, stop)
 
     def copy(self) -> "Relation":
+        """An independent copy sharing no mutable state.
+
+        Indexes that were reused at least once since being built are
+        carried over (bucket lists are copied, the immutable tuples are
+        shared); indexes built but never probed again are dropped, so a
+        copy does not pay to maintain them on subsequent inserts.
+        """
         dup = Relation(self.name, self.arity)
         dup.tuples = set(self.tuples)
+        dup._log = list(self._log)
+        for positions, hits in self._index_hits.items():
+            if hits > 0:
+                index = self._indexes[positions]
+                dup._indexes[positions] = {k: list(v) for k, v in index.items()}
+                dup._index_hits[positions] = hits
         return dup
+
+
+class RelationView:
+    """A read-only window onto a contiguous slice of a relation's log.
+
+    Supports the same probe interface as :class:`Relation` (``lookup``,
+    iteration, membership, ``len``), building its own small hash
+    indexes lazily over just the slice.  The view stays valid as the
+    parent relation grows: the bounds are fixed at creation.
+    """
+
+    __slots__ = ("relation", "start", "stop", "_indexes", "_set")
+
+    def __init__(self, relation: Relation, start: int, stop: int):
+        self.relation = relation
+        self.start = start
+        self.stop = stop
+        self._indexes: Optional[
+            Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]]
+        ] = None
+        self._set: Optional[Set[FactTuple]] = None
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    @property
+    def arity(self) -> int:
+        return self.relation.arity
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __iter__(self) -> Iterator[FactTuple]:
+        log = self.relation._log
+        for i in range(self.start, self.stop):
+            yield log[i]
+
+    def __contains__(self, fact: FactTuple) -> bool:
+        return fact in self.fact_set()
+
+    def lookup(self, positions: Tuple[int, ...], key: FactTuple) -> Sequence[FactTuple]:
+        """Slice-local analogue of :meth:`Relation.lookup`."""
+        if not positions:
+            return self.relation._log[self.start : self.stop]
+        return self.ensure_index(positions).get(key, ())
+
+    def ensure_index(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[FactTuple, List[FactTuple]]:
+        """The slice-local hash index on ``positions`` (built lazily)."""
+        if self._indexes is None:
+            self._indexes = {}
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            log = self.relation._log
+            for i in range(self.start, self.stop):
+                fact = log[i]
+                k = tuple(fact[j] for j in positions)
+                index.setdefault(k, []).append(fact)
+            self._indexes[positions] = index
+        return index
+
+    def scan(self) -> List[FactTuple]:
+        """The slice's tuples, for full-scan iteration."""
+        return self.relation._log[self.start : self.stop]
+
+    def fact_set(self) -> Set[FactTuple]:
+        """The slice's tuples as a set, for existence checks."""
+        if self._set is None:
+            self._set = set(self.relation._log[self.start : self.stop])
+        return self._set
+
+    def __repr__(self) -> str:
+        return f"RelationView({self.name}/{self.arity}, [{self.start}:{self.stop}])"
 
 
 class Database:
@@ -180,6 +308,9 @@ class Database:
     # ------------------------------------------------------------------
 
     def copy(self) -> "Database":
+        """An independent copy; per-relation indexes that were reused
+        at least once are carried over, never-reused ones are dropped
+        (see :meth:`Relation.copy`)."""
         dup = Database()
         for sig, rel in self.relations.items():
             dup.relations[sig] = rel.copy()

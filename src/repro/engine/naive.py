@@ -4,6 +4,11 @@ Re-evaluates every rule over the full database until no new facts
 appear.  Quadratically redundant, but trivially correct — it is the
 oracle the test suite checks every other evaluator and every program
 transformation against.
+
+By default each rule is compiled once into a slot-based
+:class:`~repro.engine.plan.RulePlan` reused across all fixpoint
+rounds; ``use_plans=False`` selects the legacy dict-based interpreter
+(same fixpoint, same counters), kept for differential testing.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import Optional, Tuple
 from repro.datalog.program import Program
 from repro.engine.database import Database, load_program_facts
 from repro.engine.joins import instantiate_head, join_rule
+from repro.engine.plan import PlanCache
 from repro.engine.stats import EvalStats, NonTerminationError
 
 
@@ -22,6 +28,7 @@ def naive_eval(
     edb: Database,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_plans: bool = True,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
@@ -37,6 +44,7 @@ def naive_eval(
     stats.facts += initial
 
     rules = program.proper_rules()
+    cache = PlanCache() if use_plans else None
     changed = True
     while changed:
         changed = False
@@ -51,12 +59,19 @@ def naive_eval(
         for rule in rules:
             head = rule.head
 
-            def on_match(bindings, rule=rule, head=head):
-                stats.inferences += 1
-                fact = instantiate_head(rule, bindings)
-                new_facts.append((head.predicate, head.arity, fact))
+            if cache is not None:
+                emitted = []
+                cache.plan(rule, (), stats).execute(db, None, emitted.append, stats)
+                stats.inferences += len(emitted)
+                predicate, arity = head.predicate, head.arity
+                new_facts.extend((predicate, arity, fact) for fact in emitted)
+            else:
+                def on_match(bindings, rule=rule, head=head):
+                    stats.inferences += 1
+                    fact = instantiate_head(rule, bindings)
+                    new_facts.append((head.predicate, head.arity, fact))
 
-            join_rule(db, rule, on_match)
+                join_rule(db, rule, on_match)
         for predicate, arity, fact in new_facts:
             if db.relation(predicate, arity).add(fact):
                 stats.record_fact((predicate, arity))

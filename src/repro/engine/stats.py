@@ -32,12 +32,24 @@ class NonTerminationError(RuntimeError):
 
 @dataclass
 class EvalStats:
-    """Counters produced by one evaluator run."""
+    """Counters produced by one evaluator run.
+
+    Beyond the paper's two quantities, the compiled-plan engine
+    attributes its speedup through three more counters: ``probes``
+    (candidate-fetch operations — index lookups, scans, and existence
+    checks — the unit of join work), ``plans_compiled`` (distinct
+    (rule, override-configuration) pairs compiled), and
+    ``plan_cache_hits`` (plan reuses across delta rounds; high hit
+    counts mean compilation cost is amortized away).
+    """
 
     facts: int = 0
     inferences: int = 0
     iterations: int = 0
     seconds: float = 0.0
+    probes: int = 0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
     per_predicate: Dict[Tuple[str, int], int] = field(default_factory=dict)
 
     def record_fact(self, signature: Tuple[str, int]) -> None:
@@ -50,6 +62,9 @@ class EvalStats:
             inferences=self.inferences + other.inferences,
             iterations=self.iterations + other.iterations,
             seconds=self.seconds + other.seconds,
+            probes=self.probes + other.probes,
+            plans_compiled=self.plans_compiled + other.plans_compiled,
+            plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
             per_predicate=dict(self.per_predicate),
         )
         for sig, count in other.per_predicate.items():
@@ -59,5 +74,7 @@ class EvalStats:
     def __str__(self) -> str:
         return (
             f"facts={self.facts} inferences={self.inferences} "
-            f"iterations={self.iterations} seconds={self.seconds:.4f}"
+            f"iterations={self.iterations} seconds={self.seconds:.4f} "
+            f"probes={self.probes} plans={self.plans_compiled} "
+            f"(+{self.plan_cache_hits} cached)"
         )

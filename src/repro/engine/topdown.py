@@ -84,6 +84,16 @@ class _Tabling:
         self.tables: Dict[Literal, Set[Tuple[Term, ...]]] = {}
         self.var_orders: Dict[Literal, List[Variable]] = {}
         self.steps = 0
+        # Compile once per evaluation: rules renamed apart from any goal
+        # (the suffix is deterministic per rule, so renaming per fixpoint
+        # pass was pure interpretation overhead), grouped by head
+        # signature so each subgoal only visits its own rules.  The
+        # original rule rides along for error messages.
+        self._renamed_by_sig: Dict[Tuple[str, int], List] = {}
+        for rule_index, rule in enumerate(program.rules):
+            self._renamed_by_sig.setdefault(rule.head.signature, []).append(
+                (rename_apart(rule, f"r{rule_index}"), rule)
+            )
 
     # ------------------------------------------------------------------
 
@@ -124,17 +134,41 @@ class _Tabling:
             return
         literal = subst.apply_literal(body[index])
         if literal.signature in self.idb:
-            candidates = self.answer_instances(literal)
+            for candidate in self.answer_instances(literal):
+                extended = subst.copy()
+                ok = True
+                for pat, val in zip(literal.args, candidate.args):
+                    if unify_terms(pat, val, extended) is None:
+                        ok = False
+                        break
+                if ok:
+                    yield from self.solve_body(body, index + 1, extended)
+            return
+        # EDB literal: probe through the relation's hash index on the
+        # positions that are already ground instead of scanning and
+        # unifying every stored fact.
+        rel = self.edb.get(literal.predicate, literal.arity)
+        if rel is None:
+            return
+        positions: List[int] = []
+        key: List[Term] = []
+        free: List[int] = []
+        for i, arg in enumerate(literal.args):
+            if arg.is_ground():
+                positions.append(i)
+                key.append(arg)
+            else:
+                free.append(i)
+        if positions:
+            candidates = rel.lookup(tuple(positions), tuple(key))
         else:
-            rel = self.edb.get(literal.predicate, literal.arity)
-            candidates = (
-                [Literal(literal.predicate, fact) for fact in rel] if rel else []
-            )
-        for candidate in candidates:
+            candidates = rel.tuples
+        args = literal.args
+        for fact in candidates:
             extended = subst.copy()
             ok = True
-            for pat, val in zip(literal.args, candidate.args):
-                if unify_terms(pat, val, extended) is None:
+            for i in free:
+                if unify_terms(args[i], fact[i], extended) is None:
                     ok = False
                     break
             if ok:
@@ -149,10 +183,7 @@ class _Tabling:
                 if canonical.signature not in self.idb:
                     continue
                 order = self.var_orders[canonical]
-                for rule_index, rule in enumerate(self.program.rules):
-                    if rule.head.signature != canonical.signature:
-                        continue
-                    renamed = rename_apart(rule, f"r{rule_index}")
+                for renamed, rule in self._renamed_by_sig.get(canonical.signature, ()):
                     head_subst = unify(renamed.head, canonical)
                     if head_subst is None:
                         continue

@@ -146,4 +146,5 @@ class TestHarness:
         monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
         assert bench_scale() == 2.5
         monkeypatch.setenv("REPRO_BENCH_SCALE", "junk")
-        assert bench_scale() == 1.0
+        with pytest.warns(RuntimeWarning, match="REPRO_BENCH_SCALE='junk'"):
+            assert bench_scale() == 1.0
