@@ -1,14 +1,17 @@
 """Perf-trajectory entry point: engine wall-time on the headline workloads.
 
-Runs the semi-naive engine on transitive closure (chain) and
-same-generation (tree) with the compiled slot-based plans (the default)
-and with the legacy dict-based interpreter (``use_plans=False``), then
-writes ``BENCH_engine.json`` — one row per (workload, backend) with
-``label``/``n``/``facts``/``inferences``/``seconds`` plus per-workload
-wall-time speedups — so successive PRs leave a comparable perf record.
+Runs the semi-naive engine on transitive closure (chain),
+same-generation (tree), and the skewed-fanout join with three
+backends — compiled plans under the greedy planner, compiled plans
+under the cost-based planner, and the legacy dict-based interpreter
+(``use_plans=False``) — then writes ``BENCH_engine.json``: one row per
+(workload, backend) with ``label``/``n``/``facts``/``inferences``/
+``seconds`` plus per-workload wall-time speedups (``legacy/greedy``,
+the historical trajectory metric, and ``greedy/cost`` for the planner
+comparison), so successive PRs leave a comparable perf record.
 
 Input sizes scale with ``REPRO_BENCH_SCALE`` (the acceptance runs use
-2; CI smoke uses 0.25).  Exits non-zero if the two backends disagree on
+2; CI smoke uses 0.25).  Exits non-zero if any backends disagree on
 ``facts``/``inferences`` — the counters are the correctness signature,
 so a bench run doubles as a coarse differential check.
 
@@ -31,6 +34,15 @@ from repro.datalog.parser import parse_program
 from repro.engine.seminaive import seminaive_eval
 from repro.workloads.examples import same_generation_edb, same_generation_program
 from repro.workloads.graphs import chain_edb
+from repro.workloads.synthetic import skewed_fanout_edb, skewed_fanout_program
+
+#: (backend label, seminaive_eval kwargs); greedy is the historical
+#: "compiled" configuration, so trajectory comparisons stay meaningful.
+BACKENDS = (
+    ("greedy", {"use_plans": True, "planner": "greedy"}),
+    ("cost", {"use_plans": True, "planner": "cost"}),
+    ("legacy", {"use_plans": False}),
+)
 
 
 def scaled(n: int, minimum: int = 2) -> int:
@@ -59,12 +71,21 @@ def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
     tc_n = scaled(120)
     depth = _sg_depth()
     sg_n = 2 ** (depth + 1) - 1  # nodes in the balanced binary tree
+    skew_sources = scaled(30, minimum=5)
     return [
         ("tc_chain", tc_n, lambda: (tc_program, chain_edb(tc_n))),
         (
             "same_generation",
             sg_n,
             lambda: (same_generation_program(), same_generation_edb(depth, 2)),
+        ),
+        (
+            "skewed_fanout",
+            skew_sources,
+            lambda: (
+                skewed_fanout_program(),
+                skewed_fanout_edb(sources=skew_sources),
+            ),
         ),
     ]
 
@@ -73,14 +94,14 @@ def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
     rows: List[Dict[str, object]] = []
     speedups: Dict[str, float] = {}
     ok = True
-    series = Series("engine: compiled plans vs legacy interpreter (semi-naive)")
+    series = Series("engine: greedy vs cost planners vs legacy interpreter")
     for name, n, make in workloads():
         program, edb = make()
         results = {}
-        for backend, use_plans in (("compiled", True), ("legacy", False)):
+        for backend, kwargs in BACKENDS:
             best = None
             for _ in range(best_of):
-                _, stats = seminaive_eval(program, edb, use_plans=use_plans)
+                _, stats = seminaive_eval(program, edb, **kwargs)
                 if best is None or stats.seconds < best.seconds:
                     best = stats
             results[backend] = best
@@ -103,19 +124,28 @@ def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
                     seconds=best.seconds,
                 )
             )
-        compiled, legacy = results["compiled"], results["legacy"]
-        if (compiled.facts, compiled.inferences) != (legacy.facts, legacy.inferences):
-            print(
-                f"FAIL {name}: counter mismatch — compiled "
-                f"facts={compiled.facts} inferences={compiled.inferences}, legacy "
-                f"facts={legacy.facts} inferences={legacy.inferences}",
-                file=sys.stderr,
-            )
-            ok = False
+        greedy = results["greedy"]
+        for backend, stats in results.items():
+            if (stats.facts, stats.inferences) != (greedy.facts, greedy.inferences):
+                print(
+                    f"FAIL {name}: counter mismatch — greedy "
+                    f"facts={greedy.facts} inferences={greedy.inferences}, "
+                    f"{backend} facts={stats.facts} inferences={stats.inferences}",
+                    file=sys.stderr,
+                )
+                ok = False
+        legacy, cost = results["legacy"], results["cost"]
         speedups[name] = (
-            legacy.seconds / compiled.seconds if compiled.seconds else float("inf")
+            legacy.seconds / greedy.seconds if greedy.seconds else float("inf")
         )
-        series.note(f"{name}: {speedups[name]:.2f}x wall-time speedup")
+        speedups[f"{name}/cost_vs_greedy"] = (
+            greedy.seconds / cost.seconds if cost.seconds else float("inf")
+        )
+        series.note(
+            f"{name}: {speedups[name]:.2f}x vs legacy, "
+            f"cost planner {speedups[f'{name}/cost_vs_greedy']:.2f}x vs greedy "
+            f"({cost.replans} replans)"
+        )
     series.show()
     return rows, speedups, ok
 

@@ -95,7 +95,7 @@ def cmd_run(args) -> int:
     goal = parse_query(args.query)
     edb = _load_edb(args.facts)
     result = optimize(program, goal)
-    answers, stats = result.answers(edb)
+    answers, stats = result.answers(edb, planner=args.planner)
     strategy = "factored" if result.simplified is not None else "magic"
     for row in sorted(answers, key=str):
         print("\t".join(str(term) for term in row) if row else "true")
@@ -149,6 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("query")
     p.add_argument("--facts", help="Datalog file of ground facts")
+    p.add_argument(
+        "--planner",
+        choices=["greedy", "cost"],
+        default=None,
+        help="join-order strategy (default: $REPRO_PLANNER or greedy)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("validate", help="lint a program")

@@ -6,9 +6,10 @@ the engine exposes those counters on every run via
 :class:`repro.engine.stats.EvalStats`.
 """
 
-from repro.engine.database import Database, Relation, RelationView
+from repro.engine.database import Database, Relation, RelationStatistics, RelationView
 from repro.engine.unify import Substitution, unify, match, unify_terms
 from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.cost import cost_join_order, estimate_fanout, is_guard, resolve_planner
 from repro.engine.plan import PlanCache, RulePlan, compile_rule
 from repro.engine.naive import naive_eval
 from repro.engine.seminaive import seminaive_eval
@@ -18,10 +19,15 @@ from repro.engine.provenance import provenance_eval, explain, DerivationTree
 __all__ = [
     "Database",
     "Relation",
+    "RelationStatistics",
     "RelationView",
     "PlanCache",
     "RulePlan",
     "compile_rule",
+    "cost_join_order",
+    "estimate_fanout",
+    "is_guard",
+    "resolve_planner",
     "Substitution",
     "unify",
     "unify_terms",

@@ -9,6 +9,7 @@ time and not just as counters.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.literals import Literal
@@ -17,6 +18,26 @@ from repro.datalog.terms import Constant, Term
 
 FactTuple = Tuple[Term, ...]
 Signature = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """A cheap snapshot of one relation's runtime statistics.
+
+    ``cardinality`` is the tuple count; ``distinct_keys`` maps an index
+    column subset to the number of distinct keys observed in that index
+    (``len(index)`` — maintained for free by :meth:`Relation.add`).
+    The cost model (:mod:`repro.engine.cost`) consumes these to
+    estimate probe fanouts; positions with no index carry no entry and
+    fall back to the estimator's default.
+    """
+
+    cardinality: int
+    distinct_keys: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+
+    def distinct(self, positions: Tuple[int, ...]) -> Optional[int]:
+        """Distinct-key count for an index on ``positions``, if known."""
+        return self.distinct_keys.get(positions)
 
 
 class Relation:
@@ -34,7 +55,15 @@ class Relation:
     :class:`RelationView` via :meth:`view`.
     """
 
-    __slots__ = ("name", "arity", "tuples", "_log", "_indexes", "_index_hits")
+    __slots__ = (
+        "name",
+        "arity",
+        "tuples",
+        "_log",
+        "_indexes",
+        "_index_hits",
+        "_carried_distinct",
+    )
 
     def __init__(self, name: str, arity: int):
         self.name = name
@@ -43,6 +72,9 @@ class Relation:
         self._log: List[FactTuple] = []
         self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
         self._index_hits: Dict[Tuple[int, ...], int] = {}
+        # Distinct-key counts inherited through copy() for indexes the
+        # copy chose not to materialize; live indexes take precedence.
+        self._carried_distinct: Dict[Tuple[int, ...], int] = {}
 
     def add(self, fact: FactTuple) -> bool:
         """Insert ``fact``; returns True if it was new."""
@@ -105,6 +137,25 @@ class Relation:
         """The tuples as a set, for existence checks (no copy)."""
         return self.tuples
 
+    def distinct_count(self, positions: Tuple[int, ...]) -> Optional[int]:
+        """Distinct keys in the index on ``positions``, if one exists.
+
+        Never builds an index: statistics stay free.  Falls back to
+        counts carried over by :meth:`copy` when the live index was
+        dropped; returns ``None`` when nothing is known.
+        """
+        index = self._indexes.get(positions)
+        if index is not None:
+            return len(index)
+        return self._carried_distinct.get(positions)
+
+    def statistics(self) -> RelationStatistics:
+        """A snapshot of cardinality plus per-index distinct-key counts."""
+        distinct = dict(self._carried_distinct)
+        for positions, index in self._indexes.items():
+            distinct[positions] = len(index)
+        return RelationStatistics(len(self.tuples), distinct)
+
     def view(self, start: int, stop: int) -> "RelationView":
         """A read-only view of insertions ``start:stop`` (log order).
 
@@ -121,15 +172,23 @@ class Relation:
         carried over (bucket lists are copied, the immutable tuples are
         shared); indexes built but never probed again are dropped, so a
         copy does not pay to maintain them on subsequent inserts.
+
+        Statistics always survive the copy: distinct-key counts of
+        dropped indexes are retained as carried estimates, so
+        :meth:`Database.copy`-based pipelines plan from warm statistics
+        instead of cold defaults.
         """
         dup = Relation(self.name, self.arity)
         dup.tuples = set(self.tuples)
         dup._log = list(self._log)
+        dup._carried_distinct = dict(self._carried_distinct)
         for positions, hits in self._index_hits.items():
+            index = self._indexes[positions]
             if hits > 0:
-                index = self._indexes[positions]
                 dup._indexes[positions] = {k: list(v) for k, v in index.items()}
                 dup._index_hits[positions] = hits
+            else:
+                dup._carried_distinct[positions] = len(index)
         return dup
 
 
@@ -204,6 +263,21 @@ class RelationView:
         if self._set is None:
             self._set = set(self.relation._log[self.start : self.stop])
         return self._set
+
+    def distinct_count(self, positions: Tuple[int, ...]) -> Optional[int]:
+        """Distinct keys in the slice-local index on ``positions``, if built."""
+        if self._indexes is None:
+            return None
+        index = self._indexes.get(positions)
+        return len(index) if index is not None else None
+
+    def statistics(self) -> RelationStatistics:
+        """Cardinality plus distinct-key counts of slice-local indexes."""
+        distinct: Dict[Tuple[int, ...], int] = {}
+        if self._indexes is not None:
+            for positions, index in self._indexes.items():
+                distinct[positions] = len(index)
+        return RelationStatistics(self.stop - self.start, distinct)
 
     def __repr__(self) -> str:
         return f"RelationView({self.name}/{self.arity}, [{self.start}:{self.stop}])"

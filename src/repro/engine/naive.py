@@ -17,6 +17,7 @@ import time
 from typing import Optional, Tuple
 
 from repro.datalog.program import Program
+from repro.engine.cost import resolve_planner
 from repro.engine.database import Database, load_program_facts
 from repro.engine.joins import instantiate_head, join_rule
 from repro.engine.plan import PlanCache
@@ -29,13 +30,16 @@ def naive_eval(
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_plans: bool = True,
+    planner: Optional[str] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
     Returns ``(database, stats)`` where the database holds EDB and all
     derived facts.  ``max_iterations``/``max_facts`` guard against the
     genuinely diverging programs in the paper (Counting on left-linear
-    rules) by raising :class:`NonTerminationError`.
+    rules) by raising :class:`NonTerminationError`.  ``planner``
+    selects greedy or cost-based join ordering for compiled plans (see
+    :func:`repro.engine.seminaive.seminaive_eval`).
     """
     db = edb.copy()
     stats = EvalStats()
@@ -44,7 +48,7 @@ def naive_eval(
     stats.facts += initial
 
     rules = program.proper_rules()
-    cache = PlanCache() if use_plans else None
+    cache = PlanCache(resolve_planner(planner)) if use_plans else None
     changed = True
     while changed:
         changed = False
@@ -61,7 +65,10 @@ def naive_eval(
 
             if cache is not None:
                 emitted = []
-                cache.plan(rule, (), stats).execute(db, None, emitted.append, stats)
+                plan = cache.plan(rule, (), stats, db=db)
+                plan.execute(db, None, emitted.append, stats)
+                if plan.estimated_rows is not None:
+                    stats.record_estimate(plan.estimated_rows, len(emitted))
                 stats.inferences += len(emitted)
                 predicate, arity = head.predicate, head.arity
                 new_facts.extend((predicate, arity, fact) for fact in emitted)

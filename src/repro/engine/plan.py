@@ -254,6 +254,7 @@ class RulePlan:
         "rule",
         "roles",
         "order",
+        "estimated_rows",
         "var_slots",
         "num_slots",
         "steps",
@@ -262,11 +263,22 @@ class RulePlan:
         "_head_getter",
     )
 
-    def __init__(self, rule: Rule, roles: RoleSpec = ()):
+    def __init__(
+        self,
+        rule: Rule,
+        roles: RoleSpec = (),
+        order: Optional[Sequence[int]] = None,
+        estimated_rows: Optional[float] = None,
+    ):
         self.rule = rule
         self.roles = roles
         roles_map = dict(roles)
-        self.order = _join_order(rule.body, roles_map)
+        # ``order`` lets a cost-based planner inject a statistics-driven
+        # join order; the default is the syntactic greedy heuristic.
+        self.order = (
+            list(order) if order is not None else _join_order(rule.body, roles_map)
+        )
+        self.estimated_rows = estimated_rows
         var_slots: Dict[Variable, int] = {}
         steps: List[LiteralStep] = []
         for idx in self.order:
@@ -549,30 +561,124 @@ class PlanCache:
     """Compiled plans keyed by ``(rule, override-role spec)``.
 
     One cache lives for the duration of an evaluator run, so each
-    (rule, configuration) pair is compiled exactly once and reused
-    across all delta rounds.  Rules and role specs are hashable, so the
-    cache is a plain dict.
+    (rule, configuration) pair is compiled once and reused across all
+    delta rounds.  Rules and role specs are hashable, so the cache is a
+    plain dict.
+
+    With ``planner="cost"`` the cache is *versioned*: each entry
+    remembers the per-body-literal cardinality snapshot it was planned
+    against, and a lookup whose observed cardinalities drift past
+    ``drift_threshold`` (a ratio) recompiles with a fresh
+    statistics-driven join order instead of returning the stale plan.
+    ``EvalStats.replans`` counts those recompilations; re-planning
+    never changes the derived fixpoint, only the join order.
     """
 
-    __slots__ = ("_plans",)
+    __slots__ = ("_plans", "planner", "drift_threshold")
 
-    def __init__(self):
-        self._plans: Dict[Tuple[Rule, RoleSpec], RulePlan] = {}
+    #: Re-plan when a relation grew or shrank by this factor.
+    DEFAULT_DRIFT_THRESHOLD = 4.0
+
+    def __init__(
+        self,
+        planner: str = "greedy",
+        drift_threshold: float = DEFAULT_DRIFT_THRESHOLD,
+    ):
+        from repro.engine.cost import resolve_planner
+
+        self.planner = resolve_planner(planner)
+        self.drift_threshold = drift_threshold
+        self._plans: Dict[
+            Tuple[Rule, RoleSpec],
+            Tuple[RulePlan, Optional[Tuple[int, ...]]],
+        ] = {}
 
     def __len__(self) -> int:
         return len(self._plans)
 
-    def plan(self, rule: Rule, roles: RoleSpec = (), stats=None) -> RulePlan:
+    def plan(
+        self,
+        rule: Rule,
+        roles: RoleSpec = (),
+        stats=None,
+        db: Optional[Database] = None,
+        overrides: Optional[Mapping[int, object]] = None,
+    ) -> RulePlan:
+        """The compiled plan for ``(rule, roles)``, (re)planning as needed.
+
+        ``db``/``overrides`` feed the cost planner's statistics; the
+        greedy planner ignores them, so callers may always pass them.
+        """
         key = (rule, roles)
-        plan = self._plans.get(key)
-        if plan is None:
-            plan = RulePlan(rule, roles)
-            self._plans[key] = plan
+        entry = self._plans.get(key)
+        if self.planner != "cost" or db is None:
+            if entry is None:
+                plan = RulePlan(rule, roles)
+                self._plans[key] = (plan, None)
+                if stats is not None:
+                    stats.plans_compiled += 1
+                return plan
             if stats is not None:
-                stats.plans_compiled += 1
-        elif stats is not None:
-            stats.plan_cache_hits += 1
+                stats.plan_cache_hits += 1
+            return entry[0]
+
+        snapshot = self._snapshot(rule, roles, db, overrides)
+        if entry is not None:
+            plan, planned_at = entry
+            if planned_at is not None and not self._drifted(planned_at, snapshot):
+                if stats is not None:
+                    stats.plan_cache_hits += 1
+                return plan
+            if stats is not None:
+                stats.replans += 1
+        plan = self._compile_cost(rule, roles, db, overrides)
+        self._plans[key] = (plan, snapshot)
+        if stats is not None:
+            stats.plans_compiled += 1
         return plan
+
+    def _snapshot(
+        self,
+        rule: Rule,
+        roles: RoleSpec,
+        db: Database,
+        overrides: Optional[Mapping[int, object]],
+    ) -> Tuple[int, ...]:
+        """Current cardinality of each body occurrence's source."""
+        cards = []
+        for idx, literal in enumerate(rule.body):
+            rel = overrides.get(idx) if overrides is not None else None
+            if rel is None:
+                rel = db.get(literal.predicate, literal.arity)
+            cards.append(len(rel) if rel is not None else 0)
+        return tuple(cards)
+
+    def _drifted(self, old: Tuple[int, ...], new: Tuple[int, ...]) -> bool:
+        """True when any source's cardinality ratio exceeds the threshold."""
+        for a, b in zip(old, new):
+            lo, hi = (a, b) if a <= b else (b, a)
+            if (hi + 1) / (lo + 1) > self.drift_threshold:
+                return True
+        return False
+
+    def _compile_cost(
+        self,
+        rule: Rule,
+        roles: RoleSpec,
+        db: Database,
+        overrides: Optional[Mapping[int, object]],
+    ) -> RulePlan:
+        from repro.engine.cost import cost_join_order
+
+        def stat_of(idx: int, literal: Literal):
+            rel = overrides.get(idx) if overrides is not None else None
+            if rel is None:
+                rel = db.get(literal.predicate, literal.arity)
+            return rel.statistics() if rel is not None else None
+
+        roles_map = dict(roles)
+        order, estimated = cost_join_order(rule.body, roles_map, stat_of)
+        return RulePlan(rule, roles, order=order, estimated_rows=estimated)
 
 
 def compile_rule(rule: Rule, roles: Union[RoleSpec, Mapping[int, str]] = ()) -> RulePlan:

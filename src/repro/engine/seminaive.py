@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.dependency import DependencyGraph
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.engine.cost import resolve_planner
 from repro.engine.database import Database, FactTuple, Relation, load_program_facts
 from repro.engine.joins import instantiate_head, join_rule, relation_from_tuples
 from repro.engine.plan import PlanCache, RoleSpec
@@ -46,6 +47,7 @@ def seminaive_eval(
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
     use_plans: bool = True,
+    planner: Optional[str] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, semi-naively.
 
@@ -54,6 +56,14 @@ def seminaive_eval(
     Counting experiments in Section 6.4).  ``use_plans=False`` runs the
     legacy interpreter instead of compiled plans (same fixpoint, same
     counters; used by the differential fuzz tests).
+
+    ``planner`` selects the join-order strategy for compiled plans:
+    ``"greedy"`` (the deterministic syntactic heuristic) or ``"cost"``
+    (statistics-driven ordering with drift-triggered re-planning
+    between delta rounds).  ``None`` reads the ``REPRO_PLANNER``
+    environment variable, defaulting to greedy.  Either planner
+    derives the identical fixpoint with identical ``facts``/
+    ``inferences`` counters; only join order and probe counts differ.
     """
     db = edb.copy()
     stats = EvalStats()
@@ -65,7 +75,7 @@ def seminaive_eval(
     for rule in program.proper_rules():
         rules_by_head.setdefault(rule.head.signature, []).append(rule)
 
-    cache = PlanCache() if use_plans else None
+    cache = PlanCache(resolve_planner(planner)) if use_plans else None
 
     for scc in graph.sccs():
         scc_set = set(scc)
@@ -116,7 +126,10 @@ def _eval_once(
 
         if cache is not None:
             emitted: List[FactTuple] = []
-            cache.plan(rule, (), stats).execute(db, None, emitted.append, stats)
+            plan = cache.plan(rule, (), stats, db=db)
+            plan.execute(db, None, emitted.append, stats)
+            if plan.estimated_rows is not None:
+                stats.record_estimate(plan.estimated_rows, len(emitted))
             stats.inferences += len(emitted)
             for fact in emitted:
                 if rel.add(fact):
@@ -212,7 +225,10 @@ def _eval_recursive(
                 # Rules with no recursive body literal fire only once, in
                 # the first round (their input never changes afterwards).
                 if first_round:
-                    cache.plan(rule, (), stats).execute(db, None, emit, stats)
+                    plan = cache.plan(rule, (), stats, db=db)
+                    plan.execute(db, None, emit, stats)
+                    if plan.estimated_rows is not None:
+                        stats.record_estimate(plan.estimated_rows, len(emitted))
             else:
                 for roles, binding in rule_variants:
                     overrides = {
@@ -221,9 +237,17 @@ def _eval_recursive(
                         else old_views[body_sig]
                         for pos, role, body_sig in binding
                     }
-                    cache.plan(rule, roles, stats).execute(
-                        db, overrides, emit, stats
+                    # Re-fetching the plan every round is what lets the
+                    # cost planner notice cardinality drift and re-plan.
+                    plan = cache.plan(
+                        rule, roles, stats, db=db, overrides=overrides
                     )
+                    before = len(emitted)
+                    plan.execute(db, overrides, emit, stats)
+                    if plan.estimated_rows is not None:
+                        stats.record_estimate(
+                            plan.estimated_rows, len(emitted) - before
+                        )
             if emitted:
                 stats.inferences += len(emitted)
                 new[sig] |= set(emitted) - rels[sig].tuples

@@ -13,7 +13,11 @@ The two quantities the paper reasons about are:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
+
+#: Cap on recorded (estimated, actual) pairs so long evaluations don't
+#: grow the stats object without bound.
+MAX_ESTIMATE_SAMPLES = 10_000
 
 
 class NonTerminationError(RuntimeError):
@@ -41,6 +45,12 @@ class EvalStats:
     (rule, override-configuration) pairs compiled), and
     ``plan_cache_hits`` (plan reuses across delta rounds; high hit
     counts mean compilation cost is amortized away).
+
+    The cost-based planner adds two accuracy counters: ``replans``
+    (cached plans recompiled because observed cardinalities drifted
+    past the invalidation threshold) and ``estimated_vs_actual``
+    (per-execution pairs of predicted result rows vs. emissions
+    actually observed; :meth:`planner_accuracy` summarizes them).
     """
 
     facts: int = 0
@@ -50,11 +60,32 @@ class EvalStats:
     probes: int = 0
     plans_compiled: int = 0
     plan_cache_hits: int = 0
+    replans: int = 0
+    estimated_vs_actual: List[Tuple[float, int]] = field(default_factory=list)
     per_predicate: Dict[Tuple[str, int], int] = field(default_factory=dict)
 
     def record_fact(self, signature: Tuple[str, int]) -> None:
         self.facts += 1
         self.per_predicate[signature] = self.per_predicate.get(signature, 0) + 1
+
+    def record_estimate(self, estimated: float, actual: int) -> None:
+        """Log one (predicted rows, observed emissions) sample (capped)."""
+        if len(self.estimated_vs_actual) < MAX_ESTIMATE_SAMPLES:
+            self.estimated_vs_actual.append((estimated, actual))
+
+    def planner_accuracy(self) -> float:
+        """Mean relative error of the cost model, 0.0 when perfect.
+
+        Each sample contributes ``|estimated - actual| / max(actual, 1)``;
+        returns 0.0 when no samples were recorded (greedy planner).
+        """
+        if not self.estimated_vs_actual:
+            return 0.0
+        total = sum(
+            abs(est - actual) / max(actual, 1)
+            for est, actual in self.estimated_vs_actual
+        )
+        return total / len(self.estimated_vs_actual)
 
     def merge(self, other: "EvalStats") -> "EvalStats":
         merged = EvalStats(
@@ -65,6 +96,10 @@ class EvalStats:
             probes=self.probes + other.probes,
             plans_compiled=self.plans_compiled + other.plans_compiled,
             plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
+            replans=self.replans + other.replans,
+            estimated_vs_actual=(
+                self.estimated_vs_actual + other.estimated_vs_actual
+            )[:MAX_ESTIMATE_SAMPLES],
             per_predicate=dict(self.per_predicate),
         )
         for sig, count in other.per_predicate.items():
@@ -76,5 +111,5 @@ class EvalStats:
             f"facts={self.facts} inferences={self.inferences} "
             f"iterations={self.iterations} seconds={self.seconds:.4f} "
             f"probes={self.probes} plans={self.plans_compiled} "
-            f"(+{self.plan_cache_hits} cached)"
+            f"(+{self.plan_cache_hits} cached, {self.replans} replans)"
         )

@@ -46,15 +46,26 @@ class QueryReport:
 
 
 class DeductiveDatabase:
-    """Rules + facts + an optimizing query interface."""
+    """Rules + facts + an optimizing query interface.
 
-    def __init__(self, use_instance_checks: bool = True):
+    ``planner`` selects the join-order strategy used when queries are
+    evaluated: ``"greedy"`` (deterministic, syntactic) or ``"cost"``
+    (statistics-driven with drift-triggered re-planning); ``None``
+    defers to the ``REPRO_PLANNER`` environment variable.
+    """
+
+    def __init__(
+        self,
+        use_instance_checks: bool = True,
+        planner: Optional[str] = None,
+    ):
         self._rules: List = []
         self._program: Optional[Program] = None
         self._edb = Database()
         #: plan cache keyed by (predicate, arity, adornment string)
         self._plans: Dict[Tuple[str, int, str], OptimizationResult] = {}
         self._use_instance_checks = use_instance_checks
+        self._planner = planner
 
     # ------------------------------------------------------------------
     # Loading
@@ -170,7 +181,7 @@ class DeductiveDatabase:
         goal = parse_query(query)
         plan = self._plan(goal)
         _, edb_view = self._effective()
-        answers, stats = plan.answers(edb_view)
+        answers, stats = plan.answers(edb_view, planner=self._planner)
         unwrapped = {
             tuple(t.value if isinstance(t, Constant) else t for t in row)
             for row in answers

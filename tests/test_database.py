@@ -50,6 +50,44 @@ class TestRelation:
         dup.add((Constant(2),))
         assert len(rel) == 1 and len(dup) == 2
 
+    def test_statistics_track_cardinality_and_distinct_keys(self):
+        rel = Relation("e", 2)
+        for i in range(12):
+            rel.add((Constant(i % 3), Constant(i)))
+        assert rel.statistics().cardinality == 12
+        assert rel.distinct_count((0,)) is None  # no index: nothing known
+        rel.ensure_index((0,))
+        assert rel.distinct_count((0,)) == 3
+        rel.add((Constant(99), Constant(99)))  # maintained on insert
+        assert rel.distinct_count((0,)) == 4
+        assert rel.statistics().distinct((0,)) == 4
+
+    def test_copy_carries_statistics(self):
+        """Statistics must survive copy() even for dropped cold indexes,
+        so Database.copy()-based pipelines plan from warm estimates."""
+        rel = Relation("e", 2)
+        for i in range(10):
+            rel.add((Constant(i % 5), Constant(i)))
+        rel.ensure_index((0,))  # built but never reused: copy drops it
+        rel.ensure_index((1,))
+        rel.ensure_index((1,))  # reused: copy keeps it live
+        dup = rel.copy()
+        assert dup.statistics().cardinality == 10
+        assert dup.distinct_count((0,)) == 5  # carried estimate
+        assert dup.distinct_count((1,)) == 10  # live index
+        # Carried estimates survive a second copy too.
+        assert dup.copy().distinct_count((0,)) == 5
+
+    def test_view_statistics(self):
+        rel = Relation("e", 2)
+        for i in range(8):
+            rel.add((Constant(i % 2), Constant(i)))
+        view = rel.view(2, 8)
+        assert view.statistics().cardinality == 6
+        assert view.distinct_count((0,)) is None
+        view.ensure_index((0,))
+        assert view.distinct_count((0,)) == 2
+
 
 class TestDatabase:
     def test_add_fact_wraps_values(self):

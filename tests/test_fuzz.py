@@ -73,24 +73,30 @@ def test_unconstrained_programs_never_lose_answers(
     edb_seed=st.integers(0, 10_000),
     n=st.integers(3, 8),
 )
-def test_compiled_plans_match_interpreter_seminaive(program_seed, edb_seed, n):
-    """Differential test for the compiled-plan executor.
+def test_all_planners_match_interpreter_seminaive(program_seed, edb_seed, n):
+    """Three-way differential test for the compiled-plan executor.
 
-    The slot-based plans (the default engine) and the legacy
-    dict-based ``join_rule`` interpreter (``use_plans=False``) must
-    derive identical fixpoints — same database, same facts/inference
-    counters — on randomized programs and databases.
+    The legacy dict-based ``join_rule`` interpreter
+    (``use_plans=False``), the greedy slot-based plans (the default),
+    and the cost-based planner (``planner="cost"``, statistics-driven
+    join order with drift re-planning) must derive identical
+    fixpoints — same database, same facts/inferences counters — on
+    randomized programs and databases.
     """
     program = random_program(program_seed)
     edb = random_edb(edb_seed, n=n)
-    db_plan, stats_plan = seminaive_eval(program, edb)
     db_interp, stats_interp = seminaive_eval(program, edb, use_plans=False)
-    assert db_plan == db_interp, f"fixpoint diverged on seed {program_seed}"
-    assert stats_plan.facts == stats_interp.facts
-    assert stats_plan.inferences == stats_interp.inferences
-    assert stats_plan.iterations == stats_interp.iterations
-    assert stats_plan.plans_compiled > 0
+    db_greedy, stats_greedy = seminaive_eval(program, edb, planner="greedy")
+    db_cost, stats_cost = seminaive_eval(program, edb, planner="cost")
+    assert db_greedy == db_interp, f"greedy diverged on seed {program_seed}"
+    assert db_cost == db_interp, f"cost diverged on seed {program_seed}"
+    for stats_plan in (stats_greedy, stats_cost):
+        assert stats_plan.facts == stats_interp.facts
+        assert stats_plan.inferences == stats_interp.inferences
+        assert stats_plan.iterations == stats_interp.iterations
+        assert stats_plan.plans_compiled > 0
     assert stats_interp.plans_compiled == 0
+    assert stats_greedy.replans == 0  # greedy plans are never invalidated
 
 
 @settings(max_examples=30, deadline=None)
@@ -99,15 +105,18 @@ def test_compiled_plans_match_interpreter_seminaive(program_seed, edb_seed, n):
     edb_seed=st.integers(0, 10_000),
     n=st.integers(3, 8),
 )
-def test_compiled_plans_match_interpreter_naive(program_seed, edb_seed, n):
-    """Same differential property for the naive evaluator."""
+def test_all_planners_match_interpreter_naive(program_seed, edb_seed, n):
+    """Same three-way differential property for the naive evaluator."""
     program = random_program(program_seed)
     edb = random_edb(edb_seed, n=n)
-    db_plan, stats_plan = naive_eval(program, edb)
     db_interp, stats_interp = naive_eval(program, edb, use_plans=False)
-    assert db_plan == db_interp, f"fixpoint diverged on seed {program_seed}"
-    assert stats_plan.facts == stats_interp.facts
-    assert stats_plan.inferences == stats_interp.inferences
+    for planner in ("greedy", "cost"):
+        db_plan, stats_plan = naive_eval(program, edb, planner=planner)
+        assert db_plan == db_interp, (
+            f"{planner} fixpoint diverged on seed {program_seed}"
+        )
+        assert stats_plan.facts == stats_interp.facts
+        assert stats_plan.inferences == stats_interp.inferences
 
 
 def test_compiled_plans_match_interpreter_compound_terms():
