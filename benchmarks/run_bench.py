@@ -1,14 +1,21 @@
 """Perf-trajectory entry point: engine wall-time on the headline workloads.
 
 Runs the semi-naive engine on transitive closure (chain),
-same-generation (tree), and the skewed-fanout join with three
-backends — compiled plans under the greedy planner, compiled plans
-under the cost-based planner, and the legacy dict-based interpreter
-(``use_plans=False``) — then writes ``BENCH_engine.json``: one row per
-(workload, backend) with ``label``/``n``/``facts``/``inferences``/
-``seconds`` plus per-workload wall-time speedups (``legacy/greedy``,
-the historical trajectory metric, and ``greedy/cost`` for the planner
-comparison), so successive PRs leave a comparable perf record.
+same-generation (tree), the skewed-fanout join, and the wide-DAG
+multi-component closure with three backends — compiled plans under the
+greedy planner, compiled plans under the cost-based planner, and the
+legacy dict-based interpreter (``use_plans=False``) — then writes
+``BENCH_engine.json``: one row per (workload, backend) with
+``label``/``n``/``facts``/``inferences``/``seconds`` plus per-workload
+wall-time speedups (``legacy/greedy``, the historical trajectory
+metric, and ``greedy/cost`` for the planner comparison), so successive
+PRs leave a comparable perf record.
+
+The wide-DAG workload — whose depth batches hold several mutually
+independent SCCs — additionally runs with the parallel scheduler at
+``jobs=1`` and ``jobs=2`` (the ``jobs1``/``jobs2`` rows and the
+``wide_dag/jobs2_vs_jobs1`` speedup), checking that batch-parallel
+evaluation stays counter-identical and does not regress wall time.
 
 Input sizes scale with ``REPRO_BENCH_SCALE`` (the acceptance runs use
 2; CI smoke uses 0.25).  Exits non-zero if any backends disagree on
@@ -34,7 +41,12 @@ from repro.datalog.parser import parse_program
 from repro.engine.seminaive import seminaive_eval
 from repro.workloads.examples import same_generation_edb, same_generation_program
 from repro.workloads.graphs import chain_edb
-from repro.workloads.synthetic import skewed_fanout_edb, skewed_fanout_program
+from repro.workloads.synthetic import (
+    skewed_fanout_edb,
+    skewed_fanout_program,
+    wide_dag_edb,
+    wide_dag_program,
+)
 
 #: (backend label, seminaive_eval kwargs); greedy is the historical
 #: "compiled" configuration, so trajectory comparisons stay meaningful.
@@ -42,6 +54,13 @@ BACKENDS = (
     ("greedy", {"use_plans": True, "planner": "greedy"}),
     ("cost", {"use_plans": True, "planner": "cost"}),
     ("legacy", {"use_plans": False}),
+)
+
+#: Extra backends for the wide-DAG workload only: the same greedy
+#: configuration pinned to one and two scheduler workers.
+JOBS_BACKENDS = (
+    ("jobs1", {"use_plans": True, "planner": "greedy", "jobs": 1}),
+    ("jobs2", {"use_plans": True, "planner": "greedy", "jobs": 2}),
 )
 
 
@@ -72,6 +91,7 @@ def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
     depth = _sg_depth()
     sg_n = 2 ** (depth + 1) - 1  # nodes in the balanced binary tree
     skew_sources = scaled(30, minimum=5)
+    dag_width, dag_length = 4, scaled(60, minimum=8)
     return [
         ("tc_chain", tc_n, lambda: (tc_program, chain_edb(tc_n))),
         (
@@ -87,6 +107,14 @@ def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
                 skewed_fanout_edb(sources=skew_sources),
             ),
         ),
+        (
+            "wide_dag",
+            dag_width * dag_length,
+            lambda: (
+                wide_dag_program(dag_width),
+                wide_dag_edb(dag_width, dag_length),
+            ),
+        ),
     ]
 
 
@@ -98,7 +126,10 @@ def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
     for name, n, make in workloads():
         program, edb = make()
         results = {}
-        for backend, kwargs in BACKENDS:
+        backends = list(BACKENDS)
+        if name == "wide_dag":
+            backends += list(JOBS_BACKENDS)
+        for backend, kwargs in backends:
             best = None
             for _ in range(best_of):
                 _, stats = seminaive_eval(program, edb, **kwargs)
@@ -141,11 +172,21 @@ def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
         speedups[f"{name}/cost_vs_greedy"] = (
             greedy.seconds / cost.seconds if cost.seconds else float("inf")
         )
-        series.note(
+        note = (
             f"{name}: {speedups[name]:.2f}x vs legacy, "
             f"cost planner {speedups[f'{name}/cost_vs_greedy']:.2f}x vs greedy "
             f"({cost.replans} replans)"
         )
+        if "jobs2" in results:
+            jobs1, jobs2 = results["jobs1"], results["jobs2"]
+            speedups[f"{name}/jobs2_vs_jobs1"] = (
+                jobs1.seconds / jobs2.seconds if jobs2.seconds else float("inf")
+            )
+            note += (
+                f", jobs=2 {speedups[f'{name}/jobs2_vs_jobs1']:.2f}x vs jobs=1 "
+                f"({jobs2.scc_parallel_batches} parallel batches)"
+            )
+        series.note(note)
     series.show()
     return rows, speedups, ok
 

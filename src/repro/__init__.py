@@ -60,6 +60,8 @@ from repro.engine import (
     Relation,
     EvalStats,
     NonTerminationError,
+    SCCScheduler,
+    resolve_jobs,
     naive_eval,
     seminaive_eval,
     topdown_eval,
@@ -140,6 +142,7 @@ __all__ = [
     "parse_query", "ParseError", "pretty_program", "pretty_rule",
     # engine
     "Database", "Relation", "EvalStats", "NonTerminationError",
+    "SCCScheduler", "resolve_jobs",
     "naive_eval", "seminaive_eval", "topdown_eval", "TopDownResult",
     # analysis
     "adorn", "AdornedProgram", "Adornment", "adornment_from_query",

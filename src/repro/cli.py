@@ -90,12 +90,20 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def _checked_jobs(args) -> int:
+    """Validate --jobs / $REPRO_JOBS up front for a clean CLI error."""
+    from repro.engine.scheduler import resolve_jobs
+
+    return resolve_jobs(args.jobs)
+
+
 def cmd_run(args) -> int:
     program = _load_program(args.program)
     goal = parse_query(args.query)
     edb = _load_edb(args.facts)
+    jobs = _checked_jobs(args)
     result = optimize(program, goal)
-    answers, stats = result.answers(edb, planner=args.planner)
+    answers, stats = result.answers(edb, planner=args.planner, jobs=jobs)
     strategy = "factored" if result.simplified is not None else "magic"
     for row in sorted(answers, key=str):
         print("\t".join(str(term) for term in row) if row else "true")
@@ -118,13 +126,34 @@ def cmd_explain(args) -> int:
     program = _load_program(args.program)
     edb = _load_edb(args.facts)
     fact = parse_literal(args.fact)
+    jobs = _checked_jobs(args)
     try:
-        tree = explain_fact(program, edb, fact)
+        tree = explain_fact(
+            program, edb, fact, planner=args.planner, jobs=jobs
+        )
     except KeyError:
         print(f"{fact} is not derivable", file=sys.stderr)
         return 1
     print(tree.render())
     return 0
+
+
+def _add_engine_options(parser) -> None:
+    """Evaluation knobs shared by the evaluating commands."""
+    parser.add_argument(
+        "--planner",
+        choices=["greedy", "cost"],
+        default=None,
+        help="join-order strategy (default: $REPRO_PLANNER or greedy)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate up to N independent SCCs concurrently "
+        "(default: $REPRO_JOBS or 1; answers are identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,12 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("query")
     p.add_argument("--facts", help="Datalog file of ground facts")
-    p.add_argument(
-        "--planner",
-        choices=["greedy", "cost"],
-        default=None,
-        help="join-order strategy (default: $REPRO_PLANNER or greedy)",
-    )
+    _add_engine_options(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("validate", help="lint a program")
@@ -165,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("fact")
     p.add_argument("--facts", help="Datalog file of ground facts")
+    _add_engine_options(p)
     p.set_defaults(func=cmd_explain)
 
     return parser
@@ -172,7 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Bad knob values (--jobs 0, malformed $REPRO_JOBS/$REPRO_PLANNER,
+        # unsafe rules) are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -11,6 +11,13 @@ from repro.engine.unify import Substitution, unify, match, unify_terms
 from repro.engine.stats import EvalStats, NonTerminationError
 from repro.engine.cost import cost_join_order, estimate_fanout, is_guard, resolve_planner
 from repro.engine.plan import PlanCache, RulePlan, compile_rule
+from repro.engine.scheduler import (
+    ComponentRun,
+    ComponentTask,
+    SCCScheduler,
+    component_depths,
+    resolve_jobs,
+)
 from repro.engine.naive import naive_eval
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.topdown import topdown_eval, TopDownResult
@@ -34,6 +41,11 @@ __all__ = [
     "match",
     "EvalStats",
     "NonTerminationError",
+    "SCCScheduler",
+    "ComponentRun",
+    "ComponentTask",
+    "component_depths",
+    "resolve_jobs",
     "naive_eval",
     "seminaive_eval",
     "topdown_eval",

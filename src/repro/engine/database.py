@@ -123,10 +123,13 @@ class Relation:
             for fact in self.tuples:
                 k = tuple(fact[i] for i in positions)
                 index.setdefault(k, []).append(fact)
+            # Publish the hit counter before the index: a concurrent
+            # reader (parallel SCC batch probing a shared lower-stratum
+            # relation) that sees the index must also see its counter.
+            self._index_hits.setdefault(positions, 0)
             self._indexes[positions] = index
-            self._index_hits[positions] = 0
         else:
-            self._index_hits[positions] += 1
+            self._index_hits[positions] = self._index_hits.get(positions, 0) + 1
         return index
 
     def scan(self) -> Set[FactTuple]:
@@ -150,9 +153,15 @@ class Relation:
         return self._carried_distinct.get(positions)
 
     def statistics(self) -> RelationStatistics:
-        """A snapshot of cardinality plus per-index distinct-key counts."""
+        """A snapshot of cardinality plus per-index distinct-key counts.
+
+        Iterates over a point-in-time copy of the index table: under
+        parallel SCC evaluation another component may lazily build an
+        index on a shared lower-stratum relation while this one reads
+        statistics, and a live ``dict`` iteration would raise.
+        """
         distinct = dict(self._carried_distinct)
-        for positions, index in self._indexes.items():
+        for positions, index in list(self._indexes.items()):
             distinct[positions] = len(index)
         return RelationStatistics(len(self.tuples), distinct)
 
@@ -182,8 +191,10 @@ class Relation:
         dup.tuples = set(self.tuples)
         dup._log = list(self._log)
         dup._carried_distinct = dict(self._carried_distinct)
-        for positions, hits in self._index_hits.items():
-            index = self._indexes[positions]
+        for positions, hits in list(self._index_hits.items()):
+            index = self._indexes.get(positions)
+            if index is None:
+                continue  # counter published ahead of a mid-build index
             if hits > 0:
                 dup._indexes[positions] = {k: list(v) for k, v in index.items()}
                 dup._index_hits[positions] = hits
@@ -389,6 +400,40 @@ class Database:
         for sig, rel in self.relations.items():
             dup.relations[sig] = rel.copy()
         return dup
+
+    def stage(self, signatures: Iterable[Signature]) -> "Database":
+        """A write-isolated view for one evaluation component.
+
+        The named ``signatures`` (the component's write set) are
+        private copies; every other relation is shared **by
+        reference** and must be treated as read-only for the stage's
+        lifetime.  The parallel SCC scheduler gives each component in
+        a depth batch its own stage so concurrent components never
+        write the same relation, then folds the stages back with
+        :meth:`adopt_stage` at the batch barrier.
+        """
+        out = Database()
+        out.relations = dict(self.relations)
+        for sig in signatures:
+            rel = self.relations.get(sig)
+            out.relations[sig] = (
+                rel.copy() if rel is not None else Relation(*sig)
+            )
+        return out
+
+    def adopt_stage(
+        self, stage: "Database", signatures: Iterable[Signature]
+    ) -> None:
+        """Fold a component stage back in: adopt its staged relations.
+
+        Only the ``signatures`` staged by :meth:`stage` are taken — the
+        component was the sole writer of those relations, so adoption
+        is a pointer swap, not a tuple-by-tuple merge.
+        """
+        for sig in signatures:
+            rel = stage.relations.get(sig)
+            if rel is not None:
+                self.relations[sig] = rel
 
     def merge(self, other: "Database") -> "Database":
         """A new database holding the union of facts."""

@@ -1,14 +1,18 @@
 """Naive bottom-up fixpoint evaluation.
 
-Re-evaluates every rule over the full database until no new facts
-appear.  Quadratically redundant, but trivially correct — it is the
-oracle the test suite checks every other evaluator and every program
-transformation against.
+Re-evaluates every rule of a strongly connected component over the full
+database until no new facts appear, component by component in
+topological depth order.  Quadratically redundant within a component,
+but trivially correct — it is the oracle the test suite checks every
+other evaluator and every program transformation against.
 
-By default each rule is compiled once into a slot-based
-:class:`~repro.engine.plan.RulePlan` reused across all fixpoint
-rounds; ``use_plans=False`` selects the legacy dict-based interpreter
-(same fixpoint, same counters), kept for differential testing.
+The stratification and per-component driver live in the shared
+:class:`~repro.engine.scheduler.SCCScheduler`; this module is the thin
+frontend that selects ``mode="naive"``.  By default each rule is
+compiled once into a slot-based :class:`~repro.engine.plan.RulePlan`
+reused across all fixpoint rounds; ``use_plans=False`` selects the
+legacy dict-based interpreter (same fixpoint, same counters), kept for
+differential testing.
 """
 
 from __future__ import annotations
@@ -17,11 +21,9 @@ import time
 from typing import Optional, Tuple
 
 from repro.datalog.program import Program
-from repro.engine.cost import resolve_planner
 from repro.engine.database import Database, load_program_facts
-from repro.engine.joins import instantiate_head, join_rule
-from repro.engine.plan import PlanCache
-from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.scheduler import SCCScheduler
+from repro.engine.stats import EvalStats
 
 
 def naive_eval(
@@ -31,63 +33,34 @@ def naive_eval(
     max_facts: Optional[int] = None,
     use_plans: bool = True,
     planner: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
     Returns ``(database, stats)`` where the database holds EDB and all
-    derived facts.  ``max_iterations``/``max_facts`` guard against the
-    genuinely diverging programs in the paper (Counting on left-linear
-    rules) by raising :class:`NonTerminationError`.  ``planner``
-    selects greedy or cost-based join ordering for compiled plans (see
-    :func:`repro.engine.seminaive.seminaive_eval`).
+    derived facts.  ``max_iterations`` (per-SCC fixpoint rounds) and
+    ``max_facts`` (total derived facts) guard against the genuinely
+    diverging programs in the paper (Counting on left-linear rules) by
+    raising :class:`~repro.engine.stats.NonTerminationError`.
+    ``planner`` selects greedy or cost-based join ordering for compiled
+    plans and ``jobs`` evaluates independent SCCs concurrently (see
+    :func:`repro.engine.seminaive.seminaive_eval` for both knobs).
     """
     db = edb.copy()
     stats = EvalStats()
     start = time.perf_counter()
-    initial = load_program_facts(program, db)
-    stats.facts += initial
+    stats.facts += load_program_facts(program, db)
 
-    rules = program.proper_rules()
-    cache = PlanCache(resolve_planner(planner)) if use_plans else None
-    changed = True
-    while changed:
-        changed = False
-        stats.iterations += 1
-        if max_iterations is not None and stats.iterations > max_iterations:
-            raise NonTerminationError(
-                f"naive evaluation exceeded {max_iterations} iterations",
-                stats.iterations,
-                stats.facts,
-            )
-        new_facts = []
-        for rule in rules:
-            head = rule.head
+    scheduler = SCCScheduler(
+        program,
+        mode="naive",
+        use_plans=use_plans,
+        planner=planner,
+        jobs=jobs,
+        max_iterations=max_iterations,
+        max_facts=max_facts,
+    )
+    scheduler.run(db, stats)
 
-            if cache is not None:
-                emitted = []
-                plan = cache.plan(rule, (), stats, db=db)
-                plan.execute(db, None, emitted.append, stats)
-                if plan.estimated_rows is not None:
-                    stats.record_estimate(plan.estimated_rows, len(emitted))
-                stats.inferences += len(emitted)
-                predicate, arity = head.predicate, head.arity
-                new_facts.extend((predicate, arity, fact) for fact in emitted)
-            else:
-                def on_match(bindings, rule=rule, head=head):
-                    stats.inferences += 1
-                    fact = instantiate_head(rule, bindings)
-                    new_facts.append((head.predicate, head.arity, fact))
-
-                join_rule(db, rule, on_match)
-        for predicate, arity, fact in new_facts:
-            if db.relation(predicate, arity).add(fact):
-                stats.record_fact((predicate, arity))
-                changed = True
-                if max_facts is not None and stats.facts > max_facts:
-                    raise NonTerminationError(
-                        f"naive evaluation exceeded {max_facts} facts",
-                        stats.iterations,
-                        stats.facts,
-                    )
     stats.seconds = time.perf_counter() - start
     return db, stats

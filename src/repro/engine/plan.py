@@ -261,6 +261,7 @@ class RulePlan:
         "head_ops",
         "head_fast",
         "_head_getter",
+        "_body_ops",
     )
 
     def __init__(
@@ -364,6 +365,10 @@ class RulePlan:
                 self._head_getter = lambda slots: (slots[only],)
             else:
                 self._head_getter = itemgetter(*slots_only)
+        # Per-body-literal ground-key templates for the provenance
+        # on_match hook; compiled lazily on first provenance execution
+        # so plain evaluation pays nothing.
+        self._body_ops: Optional[Tuple[Tuple[str, int, tuple], ...]] = None
 
     def _emit_head_general(self, slots: List[Optional[Term]]) -> FactTuple:
         out: List[Term] = []
@@ -384,8 +389,9 @@ class RulePlan:
         self,
         db: Database,
         overrides: Optional[Mapping[int, object]],
-        emit: Callable[[FactTuple], None],
+        emit: Optional[Callable[[FactTuple], None]],
         stats=None,
+        on_match: Optional[Callable[[FactTuple, tuple], None]] = None,
     ) -> None:
         """Run the plan; ``emit`` receives each ground head tuple.
 
@@ -393,6 +399,15 @@ class RulePlan:
         relations (semi-naive delta/old views); a missing or ``None``
         entry falls back to the database relation, mirroring
         :func:`repro.engine.joins.join_rule`.
+
+        ``on_match`` is the plan-level provenance hook: when given, it
+        replaces ``emit`` (pass ``emit=None``) and receives
+        ``(head_fact, body_fact_keys)`` per match, where
+        ``body_fact_keys`` is one ``(predicate, arity, args)`` key per
+        body literal **in source order** — the matched ground body
+        instance, independent of the join order the planner chose.
+        The per-literal key templates are compiled lazily on the first
+        provenance execution, so plain evaluation pays nothing.
 
         Each step is resolved once per call to a raw container — a
         scan sequence, an index dict, or a fact set — so the inner
@@ -450,6 +465,34 @@ class RulePlan:
                 )
 
         slots: List[Optional[Term]] = [None] * self.num_slots
+        if on_match is not None:
+            body_ops = self._body_ops
+            if body_ops is None:
+                body_ops = self._body_ops = tuple(
+                    (
+                        literal.predicate,
+                        literal.arity,
+                        tuple(
+                            _compile_template(arg, self.var_slots)
+                            for arg in literal.args
+                        ),
+                    )
+                    for literal in self.rule.body
+                )
+
+            def emit(head_fact: FactTuple) -> None:
+                on_match(
+                    head_fact,
+                    tuple(
+                        (
+                            name,
+                            arity,
+                            tuple(_build(node, slots) for node in nodes),
+                        )
+                        for name, arity, nodes in body_ops
+                    ),
+                )
+
         nsteps = len(resolved)
         head_ops = self.head_ops
         head_fast = self.head_fast

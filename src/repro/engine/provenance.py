@@ -6,6 +6,20 @@ instance that derived it, and EDB facts at the leaves.  This module
 materializes them: :func:`explain` returns a minimal-height derivation
 tree for a derived fact, built from a provenance-recording evaluation.
 
+Provenance evaluation is SCC-stratified semi-naive on compiled plans:
+the shared :class:`~repro.engine.scheduler.SCCScheduler` drives the
+same schedule as :func:`~repro.engine.seminaive.seminaive_eval`, and a
+:class:`DerivationRecorder` rides along on the
+``RulePlan.execute(..., on_match=...)`` hook, which reports the ground
+body instance behind every head emission.  Facts derived in round
+``r`` record bodies from rounds ``< r`` (the synchronous schedule), so
+recorded derivations are acyclic and height-minimal round-wise —
+exactly the trees the paper's inductions walk.  Recording is
+*canonical* (per fact: lowest rule, then lexicographically smallest
+body instance), so the compiled path, the legacy interpreter path
+(``use_plans=False``), either planner, and any ``jobs`` count all
+record identical trees.
+
 Trees are also how a library user audits an answer ("why is 7
 reachable?"), so the module doubles as the provenance feature of the
 engine.
@@ -14,16 +28,15 @@ engine.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.datalog.literals import Literal
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Term
 from repro.engine.database import Database, FactTuple, load_program_facts
-from repro.engine.joins import instantiate_head, join_rule
-from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.scheduler import SCCScheduler
+from repro.engine.stats import EvalStats
 
 Signature = Tuple[str, int]
 FactKey = Tuple[str, int, FactTuple]
@@ -69,23 +82,123 @@ class DerivationTree:
         return self.render()
 
 
+class EdbKeyView:
+    """Lazy EDB fact-key membership backed by the relations themselves.
+
+    Behaves like the set of ``(predicate, arity, args)`` keys of every
+    EDB fact, but answers ``in`` by probing the relation's fact set
+    instead of materializing a flat key set up front — when the EDB
+    dominates the database, provenance evaluation no longer pays a
+    full copy of every fact key before deriving anything.
+
+    The view is **live**: it reads the wrapped database at lookup
+    time.  Mutating the EDB after an evaluation therefore changes
+    which facts a stored :class:`ProvenanceResult` treats as leaves —
+    pass ``edb.copy()`` to :func:`provenance_eval` if explanations
+    must stay stable while the original database keeps evolving.
+    """
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db: Database):
+        self._db = db
+
+    def __contains__(self, key: FactKey) -> bool:
+        predicate, arity, args = key
+        rel = self._db.get(predicate, arity)
+        return rel is not None and args in rel
+
+    def __iter__(self) -> Iterator[FactKey]:
+        for (name, arity), rel in self._db.relations.items():
+            for fact in rel:
+                yield (name, arity, fact)
+
+    def __len__(self) -> int:
+        return sum(len(rel) for rel in self._db.relations.values())
+
+
+class DerivationRecorder:
+    """Canonical per-round derivation recording for the scheduler.
+
+    The scheduler calls :meth:`start_round` at the top of every
+    fixpoint round, :meth:`observe` for each in-round derivation of a
+    not-yet-known fact, and :meth:`commit` when the fact is actually
+    added at the round barrier.  Among a round's candidate derivations
+    of the same fact the *canonical* one is kept — smallest rule index
+    (component rule order), then lexicographically smallest rendered
+    body instance — so the recorded tree is independent of join order,
+    execution backend, and job count.
+
+    :meth:`fork`/:meth:`absorb` support parallel depth batches: each
+    component records into a private recorder whose derivations (keyed
+    by that component's own head signatures, hence disjoint) fold back
+    at the batch barrier.
+    """
+
+    __slots__ = ("derivations", "edb_keys", "_round")
+
+    def __init__(
+        self,
+        derivations: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]],
+        edb_keys: EdbKeyView,
+    ):
+        self.derivations = derivations
+        self.edb_keys = edb_keys
+        self._round: Dict[FactKey, tuple] = {}
+
+    def fork(self) -> "DerivationRecorder":
+        return DerivationRecorder({}, self.edb_keys)
+
+    def absorb(self, other: "DerivationRecorder") -> None:
+        self.derivations.update(other.derivations)
+
+    def start_round(self) -> None:
+        self._round.clear()
+
+    def observe(
+        self,
+        sig: Signature,
+        head_fact: FactTuple,
+        rule_index: int,
+        rule: Rule,
+        body_keys: Tuple[FactKey, ...],
+    ) -> None:
+        key = (sig[0], sig[1], head_fact)
+        sort_key = (
+            rule_index,
+            tuple(
+                (name, arity, tuple(str(term) for term in args))
+                for name, arity, args in body_keys
+            ),
+        )
+        entry = self._round.get(key)
+        if entry is None or sort_key < entry[0]:
+            self._round[key] = (sort_key, rule, body_keys)
+
+    def commit(self, sig: Signature, fact: FactTuple) -> None:
+        key = (sig[0], sig[1], fact)
+        entry = self._round.get(key)
+        if entry is not None:
+            self.derivations[key] = (entry[1], entry[2])
+
+
 @dataclass
 class ProvenanceResult:
     """Database plus one recorded derivation per derived fact."""
 
     database: Database
     stats: EvalStats
-    #: fact -> (rule, body fact keys) for the first derivation found
+    #: fact -> (rule, body fact keys) for the canonical derivation
     derivations: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]]
-    edb_keys: set
+    edb_keys: EdbKeyView
 
     def explain(self, fact: Literal) -> DerivationTree:
         """A derivation tree for a ground fact (Definition 2.1).
 
         Raises ``KeyError`` when the fact is not in the least model.
-        The recorded derivation is the *first* found by the semi-naive
-        iteration, which is height-minimal up to ties (facts are
-        derived round by round).
+        The recorded derivation is the canonical one from the fact's
+        first semi-naive round, which is height-minimal up to ties
+        (facts are derived round by round).
         """
         if not fact.is_ground():
             raise ValueError(f"fact {fact} is not ground")
@@ -112,74 +225,46 @@ def provenance_eval(
     edb: Database,
     max_iterations: Optional[int] = None,
     max_facts: Optional[int] = None,
+    use_plans: bool = True,
+    planner: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ProvenanceResult:
-    """Naive-order fixpoint that records one derivation per new fact.
+    """SCC-stratified semi-naive fixpoint recording one derivation per fact.
 
-    Facts derived in round ``r`` record bodies from rounds ``< r`` (the
-    synchronous schedule), so recorded derivations are acyclic and
-    height-minimal round-wise — exactly the trees the paper's
-    inductions walk.
+    Facts derived in round ``r`` of their component record bodies from
+    rounds ``< r`` (the synchronous schedule), so recorded derivations
+    are acyclic and height-minimal round-wise.  ``use_plans``/
+    ``planner``/``jobs`` mirror
+    :func:`~repro.engine.seminaive.seminaive_eval`; every combination
+    derives the same fixpoint, the same counters, and — because
+    recording is canonical — the same derivation trees.
+    ``stats.provenance_plan_ratio`` reports how much of the run used
+    compiled plans (1.0, or 0.0 under ``use_plans=False``).
     """
     db = edb.copy()
     stats = EvalStats()
     start = time.perf_counter()
-    edb_keys = {
-        (sig[0], sig[1], fact)
-        for sig, rel in edb.relations.items()
-        for fact in rel
-    }
+    edb_keys = EdbKeyView(edb)
     derivations: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]] = {}
-    seed_count = load_program_facts(program, db)
-    stats.facts += seed_count
+    stats.facts += load_program_facts(program, db)
     for rule in program.rules:
         if rule.is_fact():
             key = (rule.head.predicate, rule.head.arity, rule.head.args)
             if key not in edb_keys:
                 derivations.setdefault(key, (rule, ()))
 
-    rules = program.proper_rules()
-    changed = True
-    while changed:
-        changed = False
-        stats.iterations += 1
-        if max_iterations is not None and stats.iterations > max_iterations:
-            raise NonTerminationError(
-                f"provenance evaluation exceeded {max_iterations} iterations",
-                stats.iterations,
-                stats.facts,
-            )
-        pending: List[Tuple[FactKey, Rule, Tuple[FactKey, ...]]] = []
-        for rule in rules:
-            def on_match(bindings, rule=rule):
-                stats.inferences += 1
-                head_fact = instantiate_head(rule, bindings)
-                key = (rule.head.predicate, rule.head.arity, head_fact)
-                if key in derivations or key in edb_keys:
-                    return
-                rel = db.get(rule.head.predicate, rule.head.arity)
-                if rel is not None and head_fact in rel:
-                    return
-                body_keys = []
-                for literal in rule.body:
-                    from repro.engine.joins import _resolve
+    scheduler = SCCScheduler(
+        program,
+        mode="seminaive",
+        use_plans=use_plans,
+        planner=planner,
+        jobs=jobs,
+        max_iterations=max_iterations,
+        max_facts=max_facts,
+        recorder=DerivationRecorder(derivations, edb_keys),
+    )
+    scheduler.run(db, stats)
 
-                    args = tuple(_resolve(a, bindings) for a in literal.args)
-                    body_keys.append((literal.predicate, literal.arity, args))
-                pending.append((key, rule, tuple(body_keys)))
-
-            join_rule(db, rule, on_match)
-        for key, rule, body_keys in pending:
-            predicate, arity, args = key
-            if db.relation(predicate, arity).add(args):
-                derivations[key] = (rule, body_keys)
-                stats.record_fact((predicate, arity))
-                changed = True
-                if max_facts is not None and stats.facts > max_facts:
-                    raise NonTerminationError(
-                        f"provenance evaluation exceeded {max_facts} facts",
-                        stats.iterations,
-                        stats.facts,
-                    )
     stats.seconds = time.perf_counter() - start
     return ProvenanceResult(
         database=db, stats=stats, derivations=derivations, edb_keys=edb_keys

@@ -3,9 +3,9 @@
 This is the evaluator the paper's cost claims refer to ("the semi-naive
 bottom-up evaluation of the new program", Section 1).  The program's
 predicate dependency graph is split into strongly connected components;
-components are evaluated in topological order, and recursive components
-iterate with delta relations so each rule instantiation uses at least
-one fact that is new in the current round.
+components are evaluated in topological depth order, and recursive
+components iterate with delta relations so each rule instantiation uses
+at least one fact that is new in the current round.
 
 For a rule with recursive body occurrences at positions ``i1 < ... < im``
 and iteration ``t``, the standard duplicate-free decomposition is used:
@@ -15,30 +15,25 @@ one delta rule per occurrence ``ij``, reading
 * the *delta* (new at ``t-1``) at ``ij``,
 * the *old* relation (through ``t-2``) at positions after ``ij``.
 
-Two execution backends share that decomposition.  The default compiles
-each (rule, delta-configuration) pair once into a slot-based
-:class:`~repro.engine.plan.RulePlan` (cached across rounds) and reads
-deltas as zero-copy :class:`~repro.engine.database.RelationView` slices
-of each relation's append-only log.  ``use_plans=False`` selects the
-legacy dict-based interpreter from :mod:`repro.engine.joins`, kept as
-the reference implementation for differential testing.
+The traversal, batching, and per-component fixpoints all live in the
+shared :class:`~repro.engine.scheduler.SCCScheduler`; this module is
+the thin frontend that selects ``mode="seminaive"``.  Two execution
+backends share the decomposition: compiled slot-based
+:class:`~repro.engine.plan.RulePlan`\\ s (the default) and the legacy
+dict-based interpreter from :mod:`repro.engine.joins`
+(``use_plans=False``), kept as the reference implementation for
+differential testing.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Optional, Tuple
 
-from repro.analysis.dependency import DependencyGraph
 from repro.datalog.program import Program
-from repro.datalog.rules import Rule
-from repro.engine.cost import resolve_planner
-from repro.engine.database import Database, FactTuple, Relation, load_program_facts
-from repro.engine.joins import instantiate_head, join_rule, relation_from_tuples
-from repro.engine.plan import PlanCache, RoleSpec
-from repro.engine.stats import EvalStats, NonTerminationError
-
-Signature = Tuple[str, int]
+from repro.engine.database import Database, load_program_facts
+from repro.engine.scheduler import SCCScheduler
+from repro.engine.stats import EvalStats
 
 
 def seminaive_eval(
@@ -48,314 +43,47 @@ def seminaive_eval(
     max_facts: Optional[int] = None,
     use_plans: bool = True,
     planner: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, semi-naively.
 
     Returns ``(database, stats)``.  The guards raise
-    :class:`NonTerminationError` for diverging programs (used by the
-    Counting experiments in Section 6.4).  ``use_plans=False`` runs the
-    legacy interpreter instead of compiled plans (same fixpoint, same
-    counters; used by the differential fuzz tests).
+    :class:`~repro.engine.stats.NonTerminationError` for diverging
+    programs (used by the Counting experiments in Section 6.4):
+    ``max_iterations`` caps the fixpoint rounds of any single SCC and
+    ``max_facts`` caps total derived facts.
+    ``use_plans=False`` runs the legacy interpreter instead of compiled
+    plans (same fixpoint, same counters; used by the differential fuzz
+    tests).
 
     ``planner`` selects the join-order strategy for compiled plans:
     ``"greedy"`` (the deterministic syntactic heuristic) or ``"cost"``
     (statistics-driven ordering with drift-triggered re-planning
     between delta rounds).  ``None`` reads the ``REPRO_PLANNER``
-    environment variable, defaulting to greedy.  Either planner
-    derives the identical fixpoint with identical ``facts``/
-    ``inferences`` counters; only join order and probe counts differ.
+    environment variable, defaulting to greedy.
+
+    ``jobs`` sets how many mutually independent SCCs (same topological
+    depth batch) evaluate concurrently; ``None`` reads ``REPRO_JOBS``,
+    defaulting to 1.  Every combination of backend, planner, and job
+    count derives the identical fixpoint with identical ``facts``/
+    ``inferences``/``iterations`` counters; only join order, probe
+    counts, and wall time differ.
     """
     db = edb.copy()
     stats = EvalStats()
     start = time.perf_counter()
     stats.facts += load_program_facts(program, db)
 
-    graph = DependencyGraph(program)
-    rules_by_head: Dict[Signature, List[Rule]] = {}
-    for rule in program.proper_rules():
-        rules_by_head.setdefault(rule.head.signature, []).append(rule)
-
-    cache = PlanCache(resolve_planner(planner)) if use_plans else None
-
-    for scc in graph.sccs():
-        scc_set = set(scc)
-        scc_rules = [
-            rule for sig in scc for rule in rules_by_head.get(sig, ())
-        ]
-        if not scc_rules:
-            continue
-        recursive = any(
-            any(lit.signature in scc_set for lit in rule.body) for rule in scc_rules
-        )
-        if not recursive:
-            _eval_once(db, scc_rules, stats, max_facts, cache)
-        elif cache is not None:
-            _eval_recursive(
-                db, scc_rules, scc_set, stats, max_iterations, max_facts, cache
-            )
-        else:
-            _eval_recursive_interpreted(
-                db, scc_rules, scc_set, stats, max_iterations, max_facts
-            )
+    scheduler = SCCScheduler(
+        program,
+        mode="seminaive",
+        use_plans=use_plans,
+        planner=planner,
+        jobs=jobs,
+        max_iterations=max_iterations,
+        max_facts=max_facts,
+    )
+    scheduler.run(db, stats)
 
     stats.seconds = time.perf_counter() - start
     return db, stats
-
-
-def _check_fact_budget(stats: EvalStats, max_facts: Optional[int]) -> None:
-    if max_facts is not None and stats.facts > max_facts:
-        raise NonTerminationError(
-            f"semi-naive evaluation exceeded {max_facts} facts",
-            stats.iterations,
-            stats.facts,
-        )
-
-
-def _eval_once(
-    db: Database,
-    rules: List[Rule],
-    stats: EvalStats,
-    max_facts: Optional[int],
-    cache: Optional[PlanCache],
-) -> None:
-    """Single pass for a non-recursive component."""
-    stats.iterations += 1
-    for rule in rules:
-        sig = rule.head.signature
-        rel = db.relation(*sig)
-
-        if cache is not None:
-            emitted: List[FactTuple] = []
-            plan = cache.plan(rule, (), stats, db=db)
-            plan.execute(db, None, emitted.append, stats)
-            if plan.estimated_rows is not None:
-                stats.record_estimate(plan.estimated_rows, len(emitted))
-            stats.inferences += len(emitted)
-            for fact in emitted:
-                if rel.add(fact):
-                    stats.record_fact(sig)
-                    _check_fact_budget(stats, max_facts)
-        else:
-            def on_match(bindings, rule=rule, rel=rel, sig=sig):
-                stats.inferences += 1
-                fact = instantiate_head(rule, bindings)
-                if rel.add(fact):
-                    stats.record_fact(sig)
-                    _check_fact_budget(stats, max_facts)
-
-            join_rule(db, rule, on_match)
-
-
-def _eval_recursive(
-    db: Database,
-    rules: List[Rule],
-    scc_set: Set[Signature],
-    stats: EvalStats,
-    max_iterations: Optional[int],
-    max_facts: Optional[int],
-    cache: PlanCache,
-) -> None:
-    """Semi-naive iteration for one recursive component (compiled plans).
-
-    Neither deltas nor "old" relations are ever materialized: at round
-    ``t`` a component relation's append-only log holds the facts
-    through ``t-1`` in derivation order, so *delta* (new at ``t-1``)
-    is the log slice ``[delta_start:len]`` and *old* (through ``t-2``)
-    is the prefix ``[0:delta_start]`` — both zero-copy
-    :class:`RelationView` windows.
-    """
-    rels: Dict[Signature, Relation] = {sig: db.relation(*sig) for sig in scc_set}
-    # Facts present before the first round seed the delta (magic seeds
-    # and facts from earlier strata drive round one); delta_start marks
-    # the log offset where the current delta begins.
-    delta_start: Dict[Signature, int] = {sig: 0 for sig in scc_set}
-
-    # One delta decomposition per recursive occurrence per rule; each
-    # (rule, roles) pair is compiled once by the cache and fetched per
-    # round (the refetch is what the plan_cache_hits counter measures).
-    # Rules with no recursive body literal have no entry; they fire
-    # only in the first round (see the dispatch below).
-    variants: Dict[Rule, List[Tuple[RoleSpec, List[Tuple[int, str, Signature]]]]] = {}
-    for rule in rules:
-        positions = [
-            i for i, lit in enumerate(rule.body) if lit.signature in scc_set
-        ]
-        if not positions:
-            continue
-        rule_variants = []
-        for j, _ in enumerate(positions):
-            roles = tuple(
-                (other, "delta" if k == j else "old")
-                for k, other in enumerate(positions)
-                if k >= j
-            )
-            binding = [
-                (pos, role, rule.body[pos].signature) for pos, role in roles
-            ]
-            rule_variants.append((roles, binding))
-        variants[rule] = rule_variants
-
-    first_round = True
-    while True:
-        stats.iterations += 1
-        if max_iterations is not None and stats.iterations > max_iterations:
-            raise NonTerminationError(
-                f"semi-naive evaluation exceeded {max_iterations} iterations",
-                stats.iterations,
-                stats.facts,
-            )
-        # Log lengths at round start; nothing is appended mid-round, so
-        # views and the full relations both expose exactly "through t-1".
-        stop = {sig: len(rels[sig]) for sig in scc_set}
-        delta_views = {
-            sig: rels[sig].view(delta_start[sig], stop[sig]) for sig in scc_set
-        }
-        old_views = {
-            sig: rels[sig].view(0, delta_start[sig]) for sig in scc_set
-        }
-        new: Dict[Signature, Set[FactTuple]] = {sig: set() for sig in scc_set}
-
-        for rule in rules:
-            sig = rule.head.signature
-            emitted: List[FactTuple] = []
-            emit = emitted.append
-
-            rule_variants = variants.get(rule)
-            if rule_variants is None:
-                # Rules with no recursive body literal fire only once, in
-                # the first round (their input never changes afterwards).
-                if first_round:
-                    plan = cache.plan(rule, (), stats, db=db)
-                    plan.execute(db, None, emit, stats)
-                    if plan.estimated_rows is not None:
-                        stats.record_estimate(plan.estimated_rows, len(emitted))
-            else:
-                for roles, binding in rule_variants:
-                    overrides = {
-                        pos: delta_views[body_sig]
-                        if role == "delta"
-                        else old_views[body_sig]
-                        for pos, role, body_sig in binding
-                    }
-                    # Re-fetching the plan every round is what lets the
-                    # cost planner notice cardinality drift and re-plan.
-                    plan = cache.plan(
-                        rule, roles, stats, db=db, overrides=overrides
-                    )
-                    before = len(emitted)
-                    plan.execute(db, overrides, emit, stats)
-                    if plan.estimated_rows is not None:
-                        stats.record_estimate(
-                            plan.estimated_rows, len(emitted) - before
-                        )
-            if emitted:
-                stats.inferences += len(emitted)
-                new[sig] |= set(emitted) - rels[sig].tuples
-
-        changed = False
-        # Advance: delta becomes old (a log-offset bump); full absorbs new.
-        for sig in scc_set:
-            delta_start[sig] = stop[sig]
-        for sig in scc_set:
-            fresh = new[sig]
-            if fresh:
-                changed = True
-                rel = rels[sig]
-                for fact in fresh:
-                    if rel.add(fact):
-                        stats.record_fact(sig)
-                _check_fact_budget(stats, max_facts)
-        first_round = False
-        if not changed:
-            break
-
-
-def _eval_recursive_interpreted(
-    db: Database,
-    rules: List[Rule],
-    scc_set: Set[Signature],
-    stats: EvalStats,
-    max_iterations: Optional[int],
-    max_facts: Optional[int],
-) -> None:
-    """Semi-naive iteration via the legacy dict-based interpreter.
-
-    Reference implementation for the differential fuzz tests: same
-    decomposition as :func:`_eval_recursive`, executed through
-    :func:`repro.engine.joins.join_rule` with per-round materialized
-    delta relations.
-    """
-    old: Dict[Signature, Relation] = {
-        sig: relation_from_tuples(sig[0], sig[1], ()) for sig in scc_set
-    }
-    # Facts of the component present before the first round seed the delta,
-    # so magic seeds and facts from earlier strata drive round one.
-    delta: Dict[Signature, Set[FactTuple]] = {
-        sig: set(db.relation(*sig).tuples) for sig in scc_set
-    }
-
-    recursive_positions: Dict[Rule, List[int]] = {
-        rule: [i for i, lit in enumerate(rule.body) if lit.signature in scc_set]
-        for rule in rules
-    }
-
-    first_round = True
-    while True:
-        stats.iterations += 1
-        if max_iterations is not None and stats.iterations > max_iterations:
-            raise NonTerminationError(
-                f"semi-naive evaluation exceeded {max_iterations} iterations",
-                stats.iterations,
-                stats.facts,
-            )
-        delta_rels = {
-            sig: relation_from_tuples(sig[0], sig[1], facts)
-            for sig, facts in delta.items()
-        }
-        new: Dict[Signature, Set[FactTuple]] = {sig: set() for sig in scc_set}
-
-        for rule in rules:
-            sig = rule.head.signature
-            positions = recursive_positions[rule]
-
-            def on_match(bindings, rule=rule, sig=sig):
-                stats.inferences += 1
-                fact = instantiate_head(rule, bindings)
-                if fact not in db.relation(*sig).tuples:
-                    new[sig].add(fact)
-
-            if not positions:
-                # Rules with no recursive body literal fire only once, in
-                # the first round (their input never changes afterwards).
-                if first_round:
-                    join_rule(db, rule, on_match)
-                continue
-            for j, pos in enumerate(positions):
-                overrides: Dict[int, Optional[Relation]] = {}
-                for k, other in enumerate(positions):
-                    if k < j:
-                        overrides[other] = None  # full relation via db
-                    elif k == j:
-                        overrides[other] = delta_rels[rule.body[other].signature]
-                    else:
-                        overrides[other] = old[rule.body[other].signature]
-                join_rule(db, rule, on_match, overrides)
-
-        changed = False
-        # Advance: old absorbs the previous delta; full absorbs the new facts.
-        for sig in scc_set:
-            for fact in delta[sig]:
-                old[sig].add(fact)
-        for sig in scc_set:
-            fresh = new[sig]
-            delta[sig] = fresh
-            if fresh:
-                changed = True
-                rel = db.relation(*sig)
-                for fact in fresh:
-                    if rel.add(fact):
-                        stats.record_fact(sig)
-                _check_fact_budget(stats, max_facts)
-        first_round = False
-        if not changed:
-            break

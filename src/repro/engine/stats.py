@@ -51,6 +51,14 @@ class EvalStats:
     past the invalidation threshold) and ``estimated_vs_actual``
     (per-execution pairs of predicted result rows vs. emissions
     actually observed; :meth:`planner_accuracy` summarizes them).
+
+    The SCC scheduler adds ``scc_count`` (components with rules that
+    were actually evaluated), ``scc_parallel_batches`` (topological
+    depth batches holding two or more such components — the batches
+    where ``jobs > 1`` can overlap work), and
+    ``provenance_plan_ratio`` (fraction of inferences that ran through
+    compiled plans during a provenance-recording evaluation: 1.0 on
+    the plan path, 0.0 on the legacy interpreter path).
     """
 
     facts: int = 0
@@ -61,6 +69,9 @@ class EvalStats:
     plans_compiled: int = 0
     plan_cache_hits: int = 0
     replans: int = 0
+    scc_count: int = 0
+    scc_parallel_batches: int = 0
+    provenance_plan_ratio: float = 0.0
     estimated_vs_actual: List[Tuple[float, int]] = field(default_factory=list)
     per_predicate: Dict[Tuple[str, int], int] = field(default_factory=dict)
 
@@ -87,29 +98,59 @@ class EvalStats:
         )
         return total / len(self.estimated_vs_actual)
 
+    @staticmethod
+    def _blend_ratio(a: "EvalStats", b: "EvalStats") -> float:
+        """``provenance_plan_ratio`` combined, weighted by inferences."""
+        total = a.inferences + b.inferences
+        if not total:
+            return 0.0
+        return (
+            a.provenance_plan_ratio * a.inferences
+            + b.provenance_plan_ratio * b.inferences
+        ) / total
+
     def merge(self, other: "EvalStats") -> "EvalStats":
-        merged = EvalStats(
-            facts=self.facts + other.facts,
-            inferences=self.inferences + other.inferences,
-            iterations=self.iterations + other.iterations,
-            seconds=self.seconds + other.seconds,
-            probes=self.probes + other.probes,
-            plans_compiled=self.plans_compiled + other.plans_compiled,
-            plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
-            replans=self.replans + other.replans,
-            estimated_vs_actual=(
-                self.estimated_vs_actual + other.estimated_vs_actual
-            )[:MAX_ESTIMATE_SAMPLES],
-            per_predicate=dict(self.per_predicate),
-        )
-        for sig, count in other.per_predicate.items():
-            merged.per_predicate[sig] = merged.per_predicate.get(sig, 0) + count
+        """A new stats object accumulating ``self`` then ``other``.
+
+        Defined through :meth:`absorb` so the two accumulation paths
+        can never drift field-by-field — a counter added to the
+        dataclass only needs :meth:`absorb` taught once.
+        """
+        merged = EvalStats()
+        merged.absorb(self)
+        merged.absorb(other)
         return merged
+
+    def absorb(self, other: "EvalStats") -> None:
+        """Accumulate ``other`` in place.
+
+        The SCC scheduler gives every component in a parallel batch a
+        private stats object and absorbs them at the batch barrier in
+        batch order, so the totals are identical to the sequential
+        schedule.
+        """
+        self.provenance_plan_ratio = EvalStats._blend_ratio(self, other)
+        self.facts += other.facts
+        self.inferences += other.inferences
+        self.iterations += other.iterations
+        self.seconds += other.seconds
+        self.probes += other.probes
+        self.plans_compiled += other.plans_compiled
+        self.plan_cache_hits += other.plan_cache_hits
+        self.replans += other.replans
+        self.scc_count += other.scc_count
+        self.scc_parallel_batches += other.scc_parallel_batches
+        room = MAX_ESTIMATE_SAMPLES - len(self.estimated_vs_actual)
+        if room > 0:
+            self.estimated_vs_actual.extend(other.estimated_vs_actual[:room])
+        for sig, count in other.per_predicate.items():
+            self.per_predicate[sig] = self.per_predicate.get(sig, 0) + count
 
     def __str__(self) -> str:
         return (
             f"facts={self.facts} inferences={self.inferences} "
             f"iterations={self.iterations} seconds={self.seconds:.4f} "
             f"probes={self.probes} plans={self.plans_compiled} "
-            f"(+{self.plan_cache_hits} cached, {self.replans} replans)"
+            f"(+{self.plan_cache_hits} cached, {self.replans} replans) "
+            f"sccs={self.scc_count}"
         )

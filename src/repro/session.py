@@ -51,13 +51,20 @@ class DeductiveDatabase:
     ``planner`` selects the join-order strategy used when queries are
     evaluated: ``"greedy"`` (deterministic, syntactic) or ``"cost"``
     (statistics-driven with drift-triggered re-planning); ``None``
-    defers to the ``REPRO_PLANNER`` environment variable.
+    defers to the ``REPRO_PLANNER`` environment variable.  ``jobs``
+    evaluates independent SCCs of the compiled program concurrently
+    (``None`` defers to ``REPRO_JOBS``; answers and counters are
+    identical for every job count).  ``use_plans=False`` drops to the
+    legacy dict-based interpreter — the differential-testing escape
+    hatch, not a production setting.
     """
 
     def __init__(
         self,
         use_instance_checks: bool = True,
         planner: Optional[str] = None,
+        jobs: Optional[int] = None,
+        use_plans: bool = True,
     ):
         self._rules: List = []
         self._program: Optional[Program] = None
@@ -66,6 +73,8 @@ class DeductiveDatabase:
         self._plans: Dict[Tuple[str, int, str], OptimizationResult] = {}
         self._use_instance_checks = use_instance_checks
         self._planner = planner
+        self._jobs = jobs
+        self._use_plans = use_plans
 
     # ------------------------------------------------------------------
     # Loading
@@ -181,7 +190,12 @@ class DeductiveDatabase:
         goal = parse_query(query)
         plan = self._plan(goal)
         _, edb_view = self._effective()
-        answers, stats = plan.answers(edb_view, planner=self._planner)
+        answers, stats = plan.answers(
+            edb_view,
+            planner=self._planner,
+            jobs=self._jobs,
+            use_plans=self._use_plans,
+        )
         unwrapped = {
             tuple(t.value if isinstance(t, Constant) else t for t in row)
             for row in answers

@@ -221,6 +221,49 @@ def skewed_fanout_edb(
     return db
 
 
+def wide_dag_program(width: int = 4) -> Program:
+    """The parallel-scheduler separation workload: a wide, shallow DAG.
+
+    ``width`` mutually independent transitive closures feed one
+    collector::
+
+        t0(X, Y) :- e0(X, Y).        t0(X, Y) :- e0(X, W), t0(W, Y).
+        ...
+        reach(X, Y) :- t0(X, Y).     ... reach(X, Y) :- t{w-1}(X, Y).
+
+    Every ``t{i}`` is its own recursive SCC depending only on its own
+    EDB relation, so all ``width`` components land in the *same*
+    topological depth batch — the shape where ``jobs > 1`` can overlap
+    component fixpoints — with ``reach`` one depth deeper.  Any job
+    count derives the identical fixpoint with identical ``facts``/
+    ``inferences`` counters.
+    """
+    from repro.datalog.parser import parse_program
+
+    lines = []
+    for i in range(max(1, width)):
+        lines.append(f"t{i}(X, Y) :- e{i}(X, Y).")
+        lines.append(f"t{i}(X, Y) :- e{i}(X, W), t{i}(W, Y).")
+        lines.append(f"reach(X, Y) :- t{i}(X, Y).")
+    return parse_program("\n".join(lines))
+
+
+def wide_dag_edb(width: int = 4, length: int = 40) -> Database:
+    """One disjoint chain per component for :func:`wide_dag_program`.
+
+    ``e{i}`` is a ``length``-edge chain over its own node namespace, so
+    each closure holds ``length * (length + 1) / 2`` tuples and the
+    components share no data at all.
+    """
+    db = Database()
+    for i in range(max(1, width)):
+        base = i * (length + 1)
+        db.add_facts(
+            f"e{i}", ((base + j, base + j + 1) for j in range(length))
+        )
+    return db
+
+
 def random_edb(
     seed: int,
     n: int = 8,

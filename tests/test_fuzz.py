@@ -73,28 +73,34 @@ def test_unconstrained_programs_never_lose_answers(
     edb_seed=st.integers(0, 10_000),
     n=st.integers(3, 8),
 )
-def test_all_planners_match_interpreter_seminaive(program_seed, edb_seed, n):
-    """Three-way differential test for the compiled-plan executor.
+def test_all_backends_match_interpreter_seminaive(program_seed, edb_seed, n):
+    """Four-way differential test for the compiled-plan executor.
 
     The legacy dict-based ``join_rule`` interpreter
     (``use_plans=False``), the greedy slot-based plans (the default),
-    and the cost-based planner (``planner="cost"``, statistics-driven
-    join order with drift re-planning) must derive identical
-    fixpoints — same database, same facts/inferences counters — on
-    randomized programs and databases.
+    the cost-based planner (``planner="cost"``, statistics-driven join
+    order with drift re-planning), and the parallel SCC scheduler
+    (``jobs=2``, staged writes merged at depth-batch barriers) must
+    derive identical fixpoints — same database, same facts/inferences/
+    iterations counters — on randomized programs and databases.
     """
     program = random_program(program_seed)
     edb = random_edb(edb_seed, n=n)
     db_interp, stats_interp = seminaive_eval(program, edb, use_plans=False)
     db_greedy, stats_greedy = seminaive_eval(program, edb, planner="greedy")
     db_cost, stats_cost = seminaive_eval(program, edb, planner="cost")
+    db_jobs, stats_jobs = seminaive_eval(
+        program, edb, planner="greedy", jobs=2
+    )
     assert db_greedy == db_interp, f"greedy diverged on seed {program_seed}"
     assert db_cost == db_interp, f"cost diverged on seed {program_seed}"
-    for stats_plan in (stats_greedy, stats_cost):
+    assert db_jobs == db_interp, f"jobs=2 diverged on seed {program_seed}"
+    for stats_plan in (stats_greedy, stats_cost, stats_jobs):
         assert stats_plan.facts == stats_interp.facts
         assert stats_plan.inferences == stats_interp.inferences
         assert stats_plan.iterations == stats_interp.iterations
         assert stats_plan.plans_compiled > 0
+        assert stats_plan.scc_count == stats_interp.scc_count
     assert stats_interp.plans_compiled == 0
     assert stats_greedy.replans == 0  # greedy plans are never invalidated
 
@@ -105,18 +111,58 @@ def test_all_planners_match_interpreter_seminaive(program_seed, edb_seed, n):
     edb_seed=st.integers(0, 10_000),
     n=st.integers(3, 8),
 )
-def test_all_planners_match_interpreter_naive(program_seed, edb_seed, n):
-    """Same three-way differential property for the naive evaluator."""
+def test_all_backends_match_interpreter_naive(program_seed, edb_seed, n):
+    """Same four-way differential property for the naive evaluator."""
     program = random_program(program_seed)
     edb = random_edb(edb_seed, n=n)
     db_interp, stats_interp = naive_eval(program, edb, use_plans=False)
-    for planner in ("greedy", "cost"):
-        db_plan, stats_plan = naive_eval(program, edb, planner=planner)
+    for label, kwargs in (
+        ("greedy", {"planner": "greedy"}),
+        ("cost", {"planner": "cost"}),
+        ("jobs=2", {"planner": "greedy", "jobs": 2}),
+    ):
+        db_plan, stats_plan = naive_eval(program, edb, **kwargs)
         assert db_plan == db_interp, (
-            f"{planner} fixpoint diverged on seed {program_seed}"
+            f"{label} fixpoint diverged on seed {program_seed}"
         )
         assert stats_plan.facts == stats_interp.facts
         assert stats_plan.inferences == stats_interp.inferences
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 2_000),
+    n=st.integers(3, 8),
+)
+def test_provenance_backends_record_identical_trees(program_seed, edb_seed, n):
+    """Provenance is canonical: every backend records the same trees.
+
+    Beyond the fixpoint/counter agreement, the plan path, the legacy
+    interpreter path, the cost planner, and the parallel scheduler must
+    record the exact same ``(rule, body fact keys)`` per derived fact —
+    derivation recording is canonicalized, not enumeration-order
+    dependent.
+    """
+    from repro.engine.provenance import provenance_eval
+
+    program = random_program(program_seed)
+    edb = random_edb(edb_seed, n=n)
+    base = provenance_eval(program, edb, use_plans=False)
+    assert base.stats.provenance_plan_ratio == 0.0
+    for kwargs in (
+        {},
+        {"planner": "cost"},
+        {"jobs": 2},
+    ):
+        prov = provenance_eval(program, edb, **kwargs)
+        assert prov.database == base.database
+        assert prov.derivations == base.derivations, (
+            f"derivations diverged on seed {program_seed} with {kwargs}"
+        )
+        assert prov.stats.facts == base.stats.facts
+        assert prov.stats.inferences == base.stats.inferences
+        assert prov.stats.provenance_plan_ratio == 1.0
 
 
 def test_compiled_plans_match_interpreter_compound_terms():

@@ -96,6 +96,66 @@ class TestExplain:
         assert node.rule is not None and not node.rule.body
 
 
+class TestPlanProvenance:
+    """Plan-level provenance: compiled plans vs. the legacy interpreter."""
+
+    def _assert_identical(self, program, edb, **kwargs):
+        legacy = provenance_eval(program, edb, use_plans=False)
+        plans = provenance_eval(program, edb, **kwargs)
+        assert plans.database == legacy.database
+        # same roots, same per-fact rule + body keys
+        assert plans.derivations == legacy.derivations
+        assert plans.stats.facts == legacy.stats.facts
+        assert plans.stats.inferences == legacy.stats.inferences
+        return legacy, plans
+
+    def test_identical_trees_on_tc_chain(self):
+        self._assert_identical(TC, chain_edb(8))
+
+    def test_identical_trees_on_same_generation(self):
+        from repro.workloads.examples import (
+            same_generation_edb,
+            same_generation_program,
+        )
+
+        self._assert_identical(
+            same_generation_program(), same_generation_edb(4, 2)
+        )
+
+    def test_identical_trees_under_cost_planner_and_jobs(self):
+        self._assert_identical(TC, chain_edb(8), planner="cost")
+        self._assert_identical(TC, chain_edb(8), jobs=2)
+
+    def test_identical_trees_on_factored_pipeline_output(self):
+        from repro.core.pipeline import optimize
+        from repro.datalog.parser import parse_query
+        from repro.workloads.examples import three_rule_tc_program
+
+        result = optimize(three_rule_tc_program(), parse_query("t(0, Y)"))
+        self._assert_identical(result.simplified.program, chain_edb(5))
+
+    def test_plan_ratio_reported(self):
+        assert provenance_eval(TC, chain_edb(4)).stats.provenance_plan_ratio == 1.0
+        assert (
+            provenance_eval(TC, chain_edb(4), use_plans=False)
+            .stats.provenance_plan_ratio
+            == 0.0
+        )
+
+    def test_edb_keys_are_lazy(self):
+        """EDB membership is answered by the relations, not a flat copy."""
+        from repro.engine.provenance import EdbKeyView
+
+        edb = chain_edb(6)
+        prov = provenance_eval(TC, edb)
+        assert isinstance(prov.edb_keys, EdbKeyView)
+        some_edge = next(iter(edb.relation("e", 2)))
+        assert ("e", 2, some_edge) in prov.edb_keys
+        assert ("e", 2, ("nope", "nope")) not in prov.edb_keys
+        assert len(prov.edb_keys) == len(edb.relation("e", 2))
+        assert ("e", 2, some_edge) in set(iter(prov.edb_keys))
+
+
 class TestFactoredProvenance:
     def test_explain_factored_answer(self):
         """Provenance composes with the optimizer's output programs."""

@@ -1,0 +1,299 @@
+"""Tests for the shared SCC scheduler: batching, parallelism, staging.
+
+Covers the satellite checklist for the unified evaluation core:
+``strongly_connected_components`` on long chains (no recursion-limit
+regressions), self-loop vs. singleton non-recursive components, a
+property test that depth batches respect every dependency edge, the
+``jobs`` knob's determinism, and the write-isolation staging on
+:class:`~repro.engine.database.Database`.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dependency import DependencyGraph, strongly_connected_components
+from repro.datalog.parser import parse_program
+from repro.engine.database import Database
+from repro.engine.naive import naive_eval
+from repro.engine.scheduler import (
+    JOBS_ENV,
+    SCCScheduler,
+    component_depths,
+    resolve_jobs,
+)
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import EvalStats
+from repro.workloads.graphs import chain_edb
+from repro.workloads.synthetic import (
+    random_edb,
+    random_program,
+    wide_dag_edb,
+    wide_dag_program,
+)
+
+
+class TestTarjanScaling:
+    def test_long_path_graph_no_recursion_limit(self):
+        """10k-node path: the iterative Tarjan never hits sys limits."""
+        n = 10_000
+        edges = {i: [i + 1] for i in range(n - 1)}
+        sccs = strongly_connected_components(range(n), edges)
+        assert len(sccs) == n
+        assert all(len(scc) == 1 for scc in sccs)
+
+    def test_long_cycle_single_component(self):
+        n = 5_000
+        edges = {i: [(i + 1) % n] for i in range(n)}
+        sccs = strongly_connected_components(range(n), edges)
+        assert len(sccs) == 1 and len(sccs[0]) == n
+
+    def test_long_predicate_chain_program(self):
+        """A 300-stratum program evaluates without recursion errors."""
+        depth = 300
+        lines = ["p0(X) :- e(X)."]
+        lines += [f"p{i}(X) :- p{i - 1}(X)." for i in range(1, depth)]
+        program = parse_program("\n".join(lines))
+        edb = Database()
+        edb.add_fact("e", (1,))
+        db, stats = seminaive_eval(program, edb)
+        assert db.has_fact(f"p{depth - 1}", (1,))
+        assert stats.scc_count == depth
+        # a pure chain offers no parallelism anywhere
+        assert stats.scc_parallel_batches == 0
+
+
+class TestComponentShapes:
+    def test_self_loop_is_recursive_component(self):
+        program = parse_program("p(X) :- e(X).\np(X) :- p(X).")
+        scheduler = SCCScheduler(program)
+        (task,) = scheduler.tasks
+        assert task.recursive
+        assert task.sigs == frozenset({("p", 1)})
+
+    def test_singleton_without_self_loop_is_single_pass(self):
+        program = parse_program("p(X) :- e(X).")
+        scheduler = SCCScheduler(program)
+        (task,) = scheduler.tasks
+        assert not task.recursive
+
+    def test_self_loop_vs_singleton_iterations(self):
+        """The self-loop iterates to fixpoint; the plain rule fires once."""
+        edb = Database.from_dict({"e": [(1,), (2,)]})
+        plain = parse_program("p(X) :- e(X).")
+        loop = parse_program("p(X) :- e(X).\np(X) :- p(X).")
+        plain_db, plain_stats = seminaive_eval(plain, edb)
+        loop_db, loop_stats = seminaive_eval(loop, edb)
+        assert plain_stats.iterations == 1
+        assert loop_stats.iterations > 1
+        assert plain_db == loop_db
+        assert len(loop_db.facts("p")) == 2
+
+    def test_mutual_recursion_one_component(self):
+        program = parse_program(
+            "even(Y) :- odd(X), succ(X, Y).\n"
+            "odd(Y) :- even(X), succ(X, Y).\n"
+            "even(X) :- zero(X).\n"
+        )
+        scheduler = SCCScheduler(program)
+        sigs = {frozenset(task.sigs) for task in scheduler.tasks}
+        assert frozenset({("even", 1), ("odd", 1)}) in sigs
+
+    def test_edb_only_components_are_skipped(self):
+        program = parse_program("p(X, Y) :- e(X, Y), f(Y).")
+        scheduler = SCCScheduler(program)
+        assert [task.sigs for task in scheduler.tasks] == [
+            frozenset({("p", 2)})
+        ]
+
+
+class TestDepthBatches:
+    @settings(max_examples=60, deadline=None)
+    @given(program_seed=st.integers(0, 10_000), rules=st.integers(1, 4))
+    def test_batches_respect_every_dependency_edge(self, program_seed, rules):
+        """Every body -> head edge crosses non-decreasing depth, strictly
+        increasing unless both ends share a component."""
+        program = random_program(program_seed, rules=rules)
+        graph = DependencyGraph(program)
+        sccs = graph.sccs()
+        depths = component_depths(sccs, graph.predecessors)
+        scc_of = {sig: i for i, scc in enumerate(sccs) for sig in scc}
+        for rule in program.proper_rules():
+            head = rule.head.signature
+            for lit in rule.body:
+                body = lit.signature
+                if scc_of[body] == scc_of[head]:
+                    continue
+                assert depths[scc_of[body]] < depths[scc_of[head]], (
+                    f"edge {body} -> {head} does not climb depths"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(program_seed=st.integers(0, 10_000))
+    def test_batches_partition_tasks(self, program_seed):
+        program = random_program(program_seed)
+        scheduler = SCCScheduler(program)
+        seen = []
+        last_depth = -1
+        for batch in scheduler.batches:
+            assert batch, "no empty batches"
+            depth = batch[0].depth
+            assert depth > last_depth
+            assert all(task.depth == depth for task in batch)
+            seen.extend(batch)
+            last_depth = depth
+        assert sorted(id(t) for t in seen) == sorted(
+            id(t) for t in scheduler.tasks
+        )
+
+    def test_wide_dag_components_share_one_batch(self):
+        scheduler = SCCScheduler(wide_dag_program(4))
+        widths = [len(batch) for batch in scheduler.batches]
+        assert widths == [4, 1]  # four closures, then the collector
+
+
+class TestParallelEvaluation:
+    def test_jobs_counter_identical_on_wide_dag(self):
+        program, edb = wide_dag_program(4), wide_dag_edb(4, 20)
+        db1, s1 = seminaive_eval(program, edb, jobs=1)
+        db2, s2 = seminaive_eval(program, edb, jobs=2)
+        db4, s4 = seminaive_eval(program, edb, jobs=4)
+        assert db1 == db2 == db4
+        for stats in (s2, s4):
+            assert (stats.facts, stats.inferences, stats.iterations) == (
+                s1.facts,
+                s1.inferences,
+                s1.iterations,
+            )
+        assert s1.scc_count == 5
+        assert s1.scc_parallel_batches == 1
+
+    def test_jobs_counter_identical_naive(self):
+        program, edb = wide_dag_program(3), wide_dag_edb(3, 8)
+        db1, s1 = naive_eval(program, edb, jobs=1)
+        db2, s2 = naive_eval(program, edb, jobs=3)
+        assert db1 == db2
+        assert (s1.facts, s1.inferences) == (s2.facts, s2.inferences)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        program_seed=st.integers(0, 10_000),
+        edb_seed=st.integers(0, 2_000),
+        n=st.integers(3, 8),
+    )
+    def test_jobs_matches_sequential_on_random_programs(
+        self, program_seed, edb_seed, n
+    ):
+        program = random_program(program_seed)
+        edb = random_edb(edb_seed, n=n)
+        db1, s1 = seminaive_eval(program, edb, jobs=1)
+        db2, s2 = seminaive_eval(program, edb, jobs=2)
+        assert db1 == db2
+        assert (s1.facts, s1.inferences, s1.iterations) == (
+            s2.facts,
+            s2.inferences,
+            s2.iterations,
+        )
+
+    def test_parallel_budget_still_raises(self):
+        from repro.engine.stats import NonTerminationError
+
+        lines = []
+        for i in range(3):
+            lines.append(f"p{i}(s(X)) :- p{i}(X).")
+        program = parse_program("\n".join(lines))
+        edb = Database()
+        for i in range(3):
+            edb.add_fact(f"p{i}", (0,))
+        with pytest.raises(NonTerminationError):
+            seminaive_eval(program, edb, max_facts=30, jobs=2)
+
+    def test_iteration_budget_is_per_component(self):
+        """max_iterations bounds one component's rounds: a program with
+        several independent deep recursions must not exhaust the budget
+        just by having more components."""
+        from repro.engine.stats import NonTerminationError
+
+        program, edb = wide_dag_program(3), wide_dag_edb(3, 30)
+        # each closure needs ~31 rounds; the sum (~93) exceeds 40, but
+        # no single component does
+        for evaluator in (seminaive_eval, naive_eval):
+            db, stats = evaluator(program, edb, max_iterations=40)
+            assert stats.iterations > 40  # cumulative counter unchanged
+            with pytest.raises(NonTerminationError):
+                evaluator(program, edb, max_iterations=10)
+
+    def test_parallel_batch_respects_collective_budget(self):
+        """A batch whose components only jointly exceed max_facts must
+        still raise — the barrier re-checks the absorbed totals."""
+        from repro.engine.stats import NonTerminationError
+
+        program, edb = wide_dag_program(2), wide_dag_edb(2, 6)
+        _, stats = seminaive_eval(program, edb)
+        budget = stats.facts - 1  # each component alone stays under
+        with pytest.raises(NonTerminationError):
+            seminaive_eval(program, edb, max_facts=budget, jobs=1)
+        with pytest.raises(NonTerminationError):
+            seminaive_eval(program, edb, max_facts=budget, jobs=2)
+
+
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestStaging:
+    def test_stage_isolates_writes(self):
+        db = Database.from_dict({"e": [(1, 2)], "t": [(0, 0)]})
+        stage = db.stage([("t", 2)])
+        stage.add_fact("t", (5, 6))
+        assert stage.has_fact("t", (0, 0))  # staged copy keeps seed facts
+        assert not db.has_fact("t", (5, 6))
+        # non-staged relations are shared by reference
+        assert stage.get("e", 2) is db.get("e", 2)
+
+    def test_adopt_stage_folds_back(self):
+        db = Database.from_dict({"e": [(1, 2)]})
+        stage = db.stage([("t", 2)])
+        stage.add_fact("t", (1, 2))
+        db.adopt_stage(stage, [("t", 2)])
+        assert db.has_fact("t", (1, 2))
+
+    def test_stage_of_missing_relation_is_empty(self):
+        db = Database()
+        stage = db.stage([("t", 2)])
+        assert len(stage.relation("t", 2)) == 0
+
+
+class TestSchedulerStats:
+    def test_scc_counters_surface_in_stats(self):
+        program, edb = wide_dag_program(2), wide_dag_edb(2, 6)
+        _, stats = seminaive_eval(program, edb)
+        assert stats.scc_count == 3
+        assert stats.scc_parallel_batches == 1
+        merged = stats.merge(EvalStats(scc_count=1))
+        assert merged.scc_count == 4
+
+    def test_absorb_accumulates(self):
+        a = EvalStats(facts=2, inferences=4, provenance_plan_ratio=1.0)
+        b = EvalStats(facts=3, inferences=4, provenance_plan_ratio=0.0)
+        a.absorb(b)
+        assert a.facts == 5 and a.inferences == 8
+        assert a.provenance_plan_ratio == pytest.approx(0.5)
