@@ -1,21 +1,28 @@
 """Perf-trajectory entry point: engine wall-time on the headline workloads.
 
 Runs the semi-naive engine on transitive closure (chain),
-same-generation (tree), the skewed-fanout join, and the wide-DAG
-multi-component closure with three backends — compiled plans under the
-greedy planner, compiled plans under the cost-based planner, and the
-legacy dict-based interpreter (``use_plans=False``) — then writes
-``BENCH_engine.json``: one row per (workload, backend) with
+same-generation (tree), the skewed-fanout join, the wide-DAG
+multi-component closure, and the coarse-grained component workload
+with three plan backends — compiled plans under the greedy planner,
+compiled plans under the cost-based planner, and the legacy dict-based
+interpreter (``use_plans=False``) — then writes ``BENCH_engine.json``:
+one row per (workload, configuration) with
 ``label``/``n``/``facts``/``inferences``/``seconds`` plus per-workload
 wall-time speedups (``legacy/greedy``, the historical trajectory
 metric, and ``greedy/cost`` for the planner comparison), so successive
 PRs leave a comparable perf record.
 
-The wide-DAG workload — whose depth batches hold several mutually
-independent SCCs — additionally runs with the parallel scheduler at
-``jobs=1`` and ``jobs=2`` (the ``jobs1``/``jobs2`` rows and the
-``wide_dag/jobs2_vs_jobs1`` speedup), checking that batch-parallel
-evaluation stays counter-identical and does not regress wall time.
+Workloads whose depth batches hold several mutually independent SCCs
+(wide-DAG, coarse components) additionally run with the parallel
+scheduler at ``jobs=1``/``jobs=2`` on the default thread executor
+(``jobs1``/``jobs2`` rows) and — along with tc_chain, as the
+single-SCC control — on the process execution backend at two and four
+workers (``proc2``/``proc4`` rows, ``procN_vs_jobs1`` speedups),
+checking that every execution backend stays counter-identical and
+recording where process parallelism actually wins (the coarse
+workload: few heavy components, nothing serial downstream).  Note the
+proc speedups are hardware-bound: a single-core container time-slices
+the workers and reports ~1x regardless of the backend's scaling.
 
 Input sizes scale with ``REPRO_BENCH_SCALE`` (the acceptance runs use
 2; CI smoke uses 0.25).  Exits non-zero if any backends disagree on
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Tuple
@@ -42,25 +50,46 @@ from repro.engine.seminaive import seminaive_eval
 from repro.workloads.examples import same_generation_edb, same_generation_program
 from repro.workloads.graphs import chain_edb
 from repro.workloads.synthetic import (
+    coarse_components_edb,
+    coarse_components_program,
     skewed_fanout_edb,
     skewed_fanout_program,
     wide_dag_edb,
     wide_dag_program,
 )
 
-#: (backend label, seminaive_eval kwargs); greedy is the historical
+#: (row label, seminaive_eval kwargs); greedy is the historical
 #: "compiled" configuration, so trajectory comparisons stay meaningful.
+#: Every row pins ``jobs`` (and, where >1, ``backend``) explicitly so
+#: an inherited ``REPRO_JOBS``/``REPRO_BACKEND`` cannot silently change
+#: which executor a labelled row measures.
 BACKENDS = (
-    ("greedy", {"use_plans": True, "planner": "greedy"}),
-    ("cost", {"use_plans": True, "planner": "cost"}),
-    ("legacy", {"use_plans": False}),
+    ("greedy", {"use_plans": True, "planner": "greedy", "jobs": 1}),
+    ("cost", {"use_plans": True, "planner": "cost", "jobs": 1}),
+    ("legacy", {"use_plans": False, "jobs": 1}),
 )
 
-#: Extra backends for the wide-DAG workload only: the same greedy
-#: configuration pinned to one and two scheduler workers.
+#: Parallel-scheduler rows: the greedy configuration pinned to one and
+#: two workers on the thread executor.
 JOBS_BACKENDS = (
     ("jobs1", {"use_plans": True, "planner": "greedy", "jobs": 1}),
-    ("jobs2", {"use_plans": True, "planner": "greedy", "jobs": 2}),
+    (
+        "jobs2",
+        {"use_plans": True, "planner": "greedy", "jobs": 2, "backend": "thread"},
+    ),
+)
+
+#: Process-executor rows: the same greedy configuration shipped to a
+#: ``ProcessPoolExecutor`` at two and four workers.
+PROC_BACKENDS = (
+    (
+        "proc2",
+        {"use_plans": True, "planner": "greedy", "jobs": 2, "backend": "process"},
+    ),
+    (
+        "proc4",
+        {"use_plans": True, "planner": "greedy", "jobs": 4, "backend": "process"},
+    ),
 )
 
 
@@ -79,8 +108,13 @@ def _sg_depth() -> int:
     return depth
 
 
-def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
-    """(name, n, edb/program thunk) for each headline workload."""
+WorkloadEntry = Tuple[
+    str, int, Callable[[], Tuple[object, object]], Tuple[Tuple[str, dict], ...]
+]
+
+
+def workloads() -> List[WorkloadEntry]:
+    """(name, n, edb/program thunk, row configurations) per workload."""
     tc_program = parse_program(
         """
         t(X, Y) :- e(X, Y).
@@ -92,12 +126,28 @@ def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
     sg_n = 2 ** (depth + 1) - 1  # nodes in the balanced binary tree
     skew_sources = scaled(30, minimum=5)
     dag_width, dag_length = 4, scaled(60, minimum=8)
+    # Coarse grain: as many components as wide_dag but *nonlinear*
+    # closures (Θ(n³) inferences for Θ(n²) shipped facts) and no serial
+    # collector downstream, so per-component compute dwarfs the
+    # spec/delta serialization the process backend pays.  tc_chain is
+    # the single-SCC control for the proc rows: its batches all hold
+    # one component, so the scheduler takes the inline fast path and
+    # never consults the executor (no pool is ever created) — the rows
+    # must read ≈1x, demonstrating that selecting backend=process is
+    # free when a program has nothing to parallelize.
+    coarse_width, coarse_length = 4, scaled(75, minimum=12)
     return [
-        ("tc_chain", tc_n, lambda: (tc_program, chain_edb(tc_n))),
+        (
+            "tc_chain",
+            tc_n,
+            lambda: (tc_program, chain_edb(tc_n)),
+            BACKENDS + PROC_BACKENDS,
+        ),
         (
             "same_generation",
             sg_n,
             lambda: (same_generation_program(), same_generation_edb(depth, 2)),
+            BACKENDS,
         ),
         (
             "skewed_fanout",
@@ -106,6 +156,7 @@ def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
                 skewed_fanout_program(),
                 skewed_fanout_edb(sources=skew_sources),
             ),
+            BACKENDS,
         ),
         (
             "wide_dag",
@@ -114,31 +165,48 @@ def workloads() -> List[Tuple[str, int, Callable[[], Tuple[object, object]]]]:
                 wide_dag_program(dag_width),
                 wide_dag_edb(dag_width, dag_length),
             ),
+            BACKENDS + JOBS_BACKENDS + PROC_BACKENDS,
+        ),
+        (
+            "coarse_components",
+            coarse_width * coarse_length,
+            lambda: (
+                coarse_components_program(coarse_width),
+                coarse_components_edb(coarse_width, coarse_length),
+            ),
+            JOBS_BACKENDS + PROC_BACKENDS,
         ),
     ]
 
 
-def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
+def run(
+    best_of: int, only: List[str] | None = None
+) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
     rows: List[Dict[str, object]] = []
     speedups: Dict[str, float] = {}
     ok = True
-    series = Series("engine: greedy vs cost planners vs legacy interpreter")
-    for name, n, make in workloads():
+    series = Series(
+        "engine: planners, legacy interpreter, and execution backends"
+    )
+    selected = workloads()
+    if only:
+        unknown = set(only) - {name for name, *_ in selected}
+        if unknown:
+            raise SystemExit(f"unknown workloads: {sorted(unknown)}")
+        selected = [entry for entry in selected if entry[0] in only]
+    for name, n, make, configs in selected:
         program, edb = make()
         results = {}
-        backends = list(BACKENDS)
-        if name == "wide_dag":
-            backends += list(JOBS_BACKENDS)
-        for backend, kwargs in backends:
+        for label, kwargs in configs:
             best = None
             for _ in range(best_of):
                 _, stats = seminaive_eval(program, edb, **kwargs)
                 if best is None or stats.seconds < best.seconds:
                     best = stats
-            results[backend] = best
+            results[label] = best
             rows.append(
                 {
-                    "label": f"{name}/{backend}",
+                    "label": f"{name}/{label}",
                     "n": n,
                     "facts": best.facts,
                     "inferences": best.inferences,
@@ -147,7 +215,7 @@ def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
             )
             series.add(
                 Measurement(
-                    label=f"{name}/{backend}",
+                    label=f"{name}/{label}",
                     n=n,
                     facts=best.facts,
                     inferences=best.inferences,
@@ -155,38 +223,60 @@ def run(best_of: int) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
                     seconds=best.seconds,
                 )
             )
-        greedy = results["greedy"]
-        for backend, stats in results.items():
-            if (stats.facts, stats.inferences) != (greedy.facts, greedy.inferences):
+        baseline_label = "greedy" if "greedy" in results else configs[0][0]
+        baseline = results[baseline_label]
+        for label, stats in results.items():
+            if (stats.facts, stats.inferences) != (
+                baseline.facts,
+                baseline.inferences,
+            ):
                 print(
-                    f"FAIL {name}: counter mismatch — greedy "
-                    f"facts={greedy.facts} inferences={greedy.inferences}, "
-                    f"{backend} facts={stats.facts} inferences={stats.inferences}",
+                    f"FAIL {name}: counter mismatch — {baseline_label} "
+                    f"facts={baseline.facts} inferences={baseline.inferences}, "
+                    f"{label} facts={stats.facts} inferences={stats.inferences}",
                     file=sys.stderr,
                 )
                 ok = False
-        legacy, cost = results["legacy"], results["cost"]
-        speedups[name] = (
-            legacy.seconds / greedy.seconds if greedy.seconds else float("inf")
-        )
-        speedups[f"{name}/cost_vs_greedy"] = (
-            greedy.seconds / cost.seconds if cost.seconds else float("inf")
-        )
-        note = (
-            f"{name}: {speedups[name]:.2f}x vs legacy, "
-            f"cost planner {speedups[f'{name}/cost_vs_greedy']:.2f}x vs greedy "
-            f"({cost.replans} replans)"
-        )
-        if "jobs2" in results:
-            jobs1, jobs2 = results["jobs1"], results["jobs2"]
-            speedups[f"{name}/jobs2_vs_jobs1"] = (
-                jobs1.seconds / jobs2.seconds if jobs2.seconds else float("inf")
+        notes = [name + ":"]
+        if "legacy" in results:
+            greedy, legacy, cost = (
+                results["greedy"], results["legacy"], results["cost"],
             )
-            note += (
-                f", jobs=2 {speedups[f'{name}/jobs2_vs_jobs1']:.2f}x vs jobs=1 "
+            speedups[name] = (
+                legacy.seconds / greedy.seconds if greedy.seconds else float("inf")
+            )
+            speedups[f"{name}/cost_vs_greedy"] = (
+                greedy.seconds / cost.seconds if cost.seconds else float("inf")
+            )
+            notes.append(
+                f"{speedups[name]:.2f}x vs legacy, cost planner "
+                f"{speedups[f'{name}/cost_vs_greedy']:.2f}x vs greedy "
+                f"({cost.replans} replans)"
+            )
+        # Parallel rows compare against jobs1 (the same configuration
+        # pinned to one worker); tc_chain has no jobs1 row, so its proc
+        # control compares against greedy (identical knobs, jobs=1).
+        par_base = results.get("jobs1", results.get("greedy"))
+        if "jobs2" in results:
+            jobs2 = results["jobs2"]
+            speedups[f"{name}/jobs2_vs_jobs1"] = (
+                par_base.seconds / jobs2.seconds if jobs2.seconds else float("inf")
+            )
+            notes.append(
+                f"jobs=2 {speedups[f'{name}/jobs2_vs_jobs1']:.2f}x vs jobs=1 "
                 f"({jobs2.scc_parallel_batches} parallel batches)"
             )
-        series.note(note)
+        for label in ("proc2", "proc4"):
+            if label in results and par_base is not None:
+                stats = results[label]
+                key = f"{name}/{label}_vs_jobs1"
+                speedups[key] = (
+                    par_base.seconds / stats.seconds
+                    if stats.seconds
+                    else float("inf")
+                )
+                notes.append(f"{label} {speedups[key]:.2f}x vs jobs=1")
+        series.note(" ".join(notes))
     series.show()
     return rows, speedups, ok
 
@@ -205,16 +295,64 @@ def main(argv: List[str] | None = None) -> int:
         default=3,
         help="timing repetitions per configuration; best is recorded",
     )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="run only the named workloads (default: all); e.g. "
+        "--workloads coarse_components for the process-backend demo",
+    )
+    parser.add_argument(
+        "--require-proc-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero unless some procN_vs_jobs1 speedup reaches "
+        "RATIO (skipped when fewer than 2 CPUs are visible — parallel "
+        "speedup is not physically possible there); the CI gate for "
+        "the process backend's multi-core wall-time win",
+    )
     args = parser.parse_args(argv)
 
-    rows, speedups, ok = run(max(1, args.best_of))
+    rows, speedups, ok = run(max(1, args.best_of), only=args.workloads)
     record = {
         "scale": bench_scale(),
+        # The proc rows are hardware-bound: on one visible CPU the
+        # workers time-slice and procN_vs_jobs1 reads ~1x regardless
+        # of how well the backend scales, so record the core budget
+        # the numbers were taken under.
+        "cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
         "rows": rows,
         "speedup": {name: round(value, 2) for name, value in speedups.items()},
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+    if args.require_proc_speedup is not None:
+        cpus = record["cpus"]
+        best = max(
+            (
+                value
+                for key, value in speedups.items()
+                if "/proc" in key and key.endswith("_vs_jobs1")
+            ),
+            default=0.0,
+        )
+        if cpus < 2:
+            print(
+                f"only {cpus} CPU visible; parallel speedup is not "
+                f"physically possible here (best {best:.2f}x) — gate skipped"
+            )
+        elif best < args.require_proc_speedup:
+            print(
+                f"process backend speedup regressed: best {best:.2f}x "
+                f"< {args.require_proc_speedup:.2f}x over jobs=1 on "
+                f"{cpus} CPUs",
+                file=sys.stderr,
+            )
+            ok = False
+        else:
+            print(f"process backend speedup {best:.2f}x on {cpus} CPUs")
     return 0 if ok else 1
 
 

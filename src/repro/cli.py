@@ -97,13 +97,23 @@ def _checked_jobs(args) -> int:
     return resolve_jobs(args.jobs)
 
 
+def _checked_backend(args) -> str:
+    """Validate --backend / $REPRO_BACKEND up front for a clean CLI error."""
+    from repro.engine.backends import resolve_backend
+
+    return resolve_backend(args.backend)
+
+
 def cmd_run(args) -> int:
     program = _load_program(args.program)
     goal = parse_query(args.query)
     edb = _load_edb(args.facts)
     jobs = _checked_jobs(args)
+    backend = _checked_backend(args)
     result = optimize(program, goal)
-    answers, stats = result.answers(edb, planner=args.planner, jobs=jobs)
+    answers, stats = result.answers(
+        edb, planner=args.planner, jobs=jobs, backend=backend
+    )
     strategy = "factored" if result.simplified is not None else "magic"
     for row in sorted(answers, key=str):
         print("\t".join(str(term) for term in row) if row else "true")
@@ -127,9 +137,10 @@ def cmd_explain(args) -> int:
     edb = _load_edb(args.facts)
     fact = parse_literal(args.fact)
     jobs = _checked_jobs(args)
+    backend = _checked_backend(args)
     try:
         tree = explain_fact(
-            program, edb, fact, planner=args.planner, jobs=jobs
+            program, edb, fact, planner=args.planner, jobs=jobs, backend=backend
         )
     except KeyError:
         print(f"{fact} is not derivable", file=sys.stderr)
@@ -153,6 +164,14 @@ def _add_engine_options(parser) -> None:
         metavar="N",
         help="evaluate up to N independent SCCs concurrently "
         "(default: $REPRO_JOBS or 1; answers are identical)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="execution backend for parallel SCC batches: serial, "
+        "thread, or process (default: $REPRO_BACKEND or thread; "
+        "answers are identical)",
     )
 
 
@@ -200,8 +219,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except ValueError as exc:
-        # Bad knob values (--jobs 0, malformed $REPRO_JOBS/$REPRO_PLANNER,
-        # unsafe rules) are user errors, not tracebacks.
+        # Bad knob values (--jobs 0, --backend bogus, malformed
+        # $REPRO_JOBS/$REPRO_PLANNER/$REPRO_BACKEND, unsafe rules) are
+        # user errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

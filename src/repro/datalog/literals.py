@@ -31,6 +31,11 @@ class Literal:
     def __setattr__(self, key, value):
         raise AttributeError("Literal is immutable")
 
+    def __reduce__(self):
+        # Immutability breaks pickle's slot-state default; rebuild via
+        # the constructor (rules ship to process-backend workers).
+        return (Literal, (self.predicate, self.args))
+
     @property
     def arity(self) -> int:
         return len(self.args)

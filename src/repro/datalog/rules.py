@@ -27,6 +27,12 @@ class Rule:
     def __setattr__(self, key, value):
         raise AttributeError("Rule is immutable")
 
+    def __reduce__(self):
+        # Immutability breaks pickle's slot-state default; rebuild via
+        # the constructor.  Structural __eq__/__hash__ survive the trip,
+        # so a worker-side PlanCache keyed on shipped rules still hits.
+        return (Rule, (self.head, self.body))
+
     def is_fact(self) -> bool:
         return not self.body and self.head.is_ground()
 

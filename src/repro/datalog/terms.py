@@ -45,6 +45,13 @@ class Variable(Term):
     def __setattr__(self, key, value):
         raise AttributeError("Variable is immutable")
 
+    def __reduce__(self):
+        # Immutability (the __setattr__ override) breaks pickle's default
+        # slot-state protocol; rebuild through the constructor instead.
+        # Terms must pickle so compiled work units can cross the process
+        # boundary of the parallel execution backend.
+        return (Variable, (self.name,))
+
     def is_ground(self) -> bool:
         return False
 
@@ -79,6 +86,9 @@ class Constant(Term):
 
     def __setattr__(self, key, value):
         raise AttributeError("Constant is immutable")
+
+    def __reduce__(self):
+        return (Constant, (self.value,))
 
     def is_ground(self) -> bool:
         return True
@@ -127,6 +137,11 @@ class Compound(Term):
 
     def __setattr__(self, key, value):
         raise AttributeError("Compound is immutable")
+
+    def __reduce__(self):
+        # Rebuilding through __new__ re-interns, so unpickled compounds
+        # keep the O(1) shared-structure equality of Example 4.6.
+        return (Compound, (self.functor, self.args))
 
     def is_ground(self) -> bool:
         return self._ground

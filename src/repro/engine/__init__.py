@@ -11,6 +11,16 @@ from repro.engine.unify import Substitution, unify, match, unify_terms
 from repro.engine.stats import EvalStats, NonTerminationError
 from repro.engine.cost import cost_join_order, estimate_fanout, is_guard, resolve_planner
 from repro.engine.plan import PlanCache, RulePlan, compile_rule
+from repro.engine.backends import (
+    ComponentResult,
+    ComponentSpec,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+    resolve_backend,
+)
 from repro.engine.scheduler import (
     ComponentRun,
     ComponentTask,
@@ -18,7 +28,7 @@ from repro.engine.scheduler import (
     component_depths,
     resolve_jobs,
 )
-from repro.engine.naive import naive_eval
+from repro.engine.naive import naive_eval, naive_fixpoint_reference
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.topdown import topdown_eval, TopDownResult
 from repro.engine.provenance import provenance_eval, explain, DerivationTree
@@ -46,7 +56,16 @@ __all__ = [
     "ComponentTask",
     "component_depths",
     "resolve_jobs",
+    "ComponentResult",
+    "ComponentSpec",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "make_backend",
+    "resolve_backend",
     "naive_eval",
+    "naive_fixpoint_reference",
     "seminaive_eval",
     "topdown_eval",
     "TopDownResult",

@@ -1,0 +1,417 @@
+"""Pluggable execution backends for the SCC scheduler's depth batches.
+
+The scheduler (:mod:`repro.engine.scheduler`) decides *what* may run
+concurrently — components of one topological depth batch are mutually
+independent — but historically hard-wired *how*: a
+``ThreadPoolExecutor``, which under CPython's GIL overlaps almost no
+compute.  This module extracts the "how" into an
+:class:`ExecutorBackend` with three implementations:
+
+* ``serial`` — the reference schedule: batch components run in batch
+  order on the calling thread, sharing the live database.
+* ``thread`` — the default: components run on a thread pool against
+  staged relation copies (:meth:`~repro.engine.database.Database.stage`)
+  merged back at the batch barrier.  Cheap (no copies cross an address
+  space) but GIL-bound; it wins only when compute releases the GIL
+  (and on free-threaded builds).
+* ``process`` — a ``ProcessPoolExecutor``: real wall-time parallelism
+  on multi-core hardware.  Compiled :class:`~repro.engine.plan.RulePlan`
+  objects hold closures and ``itemgetter``s and cannot be pickled, so
+  nothing compiled ever crosses the boundary.  Instead the scheduler
+  ships a declarative :class:`ComponentSpec` — the component's rules,
+  evaluation knobs, and compact relation snapshots of exactly the
+  signatures the component reads or writes — and the worker recompiles
+  plans locally against a per-worker :class:`~repro.engine.plan.PlanCache`.
+  Results return as :class:`ComponentResult` delta logs (the facts the
+  component appended, in derivation order) plus a private
+  :class:`~repro.engine.stats.EvalStats`, merged at the batch barrier
+  in batch order.
+
+Every backend derives the identical fixpoint with bit-identical
+``facts``/``inferences``/``iterations`` counters for any job count —
+the differential fuzz suite (``tests/test_fuzz.py``) enforces this.
+Select a backend with the ``backend=`` parameter on the evaluators,
+``--backend`` on the CLI, or the ``REPRO_BACKEND`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalog.rules import Rule
+from repro.engine.database import Database, FactTuple, Relation
+from repro.engine.plan import PlanCache
+from repro.engine.stats import EvalStats
+
+Signature = Tuple[str, int]
+
+#: Environment variable supplying the session-wide default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Recognized backend names, in documentation order.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: The default when neither parameter nor environment chooses: threads,
+#: the historical behaviour of ``jobs > 1``.
+DEFAULT_BACKEND = "thread"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize a backend choice, honouring ``REPRO_BACKEND``.
+
+    ``None`` falls back to the environment (default ``"thread"``).
+    Unknown names raise ``ValueError`` so typos fail loudly instead of
+    silently running on the wrong executor — mirroring
+    :func:`repro.engine.scheduler.resolve_jobs`.
+    """
+    source = "backend"
+    if backend is None:
+        raw = os.environ.get(BACKEND_ENV, "").strip()
+        if not raw:
+            return DEFAULT_BACKEND
+        backend, source = raw, BACKEND_ENV
+    name = str(backend).strip().lower()
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"invalid {source}={backend!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        )
+    return name
+
+
+def make_backend(backend=None) -> "ExecutorBackend":
+    """An :class:`ExecutorBackend` instance for ``backend``.
+
+    Accepts a name (resolved through :func:`resolve_backend`, so
+    ``None`` consults ``REPRO_BACKEND``) or an already-constructed
+    backend instance, which is passed through — the hook tests use to
+    inject a spawn-context :class:`ProcessBackend`.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    name = resolve_backend(backend)
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend()
+    return ThreadBackend()
+
+
+# ----------------------------------------------------------------------
+# The shippable work unit
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ComponentSpec:
+    """One SCC's evaluation, as declarative (picklable) data.
+
+    Compiled plans cannot cross a process boundary, so the spec carries
+    what a worker needs to *recompile* them: the component's rules
+    (structurally hashable, so a worker-side plan cache keyed on them
+    still hits), the evaluation knobs, and compact
+    :meth:`~repro.engine.database.Relation.snapshot` copies of exactly
+    the signatures the component reads or writes — snapshots keep
+    cardinality and distinct-key statistics, so a worker-side cost
+    planner plans from the same estimates as an in-process one.
+    """
+
+    index: int
+    sigs: frozenset
+    rules: Tuple[Rule, ...]
+    recursive: bool
+    mode: str
+    use_plans: bool
+    planner: Optional[str]
+    max_iterations: Optional[int]
+    max_facts: Optional[int]
+    fact_base: int
+    record: bool
+    relations: Dict[Signature, Relation]
+
+    @classmethod
+    def from_task(cls, scheduler, task, db: Database, fact_base: int) -> "ComponentSpec":
+        needed = set(task.sigs)
+        for rule in task.rules:
+            for literal in rule.body:
+                needed.add(literal.signature)
+        return cls(
+            index=task.index,
+            sigs=task.sigs,
+            rules=tuple(task.rules),
+            recursive=task.recursive,
+            mode=scheduler.mode,
+            use_plans=scheduler.use_plans,
+            planner=scheduler.planner,
+            max_iterations=scheduler.max_iterations,
+            max_facts=scheduler.max_facts,
+            fact_base=fact_base,
+            record=scheduler.recorder is not None,
+            relations=db.snapshot(sorted(needed)).relations,
+        )
+
+
+@dataclass
+class ComponentResult:
+    """What comes back across the boundary: deltas, stats, derivations.
+
+    ``deltas`` maps each write-set signature to the facts the component
+    appended, in derivation (log) order, so the parent merge reproduces
+    the exact relation logs an in-process evaluation would have built.
+    """
+
+    deltas: Dict[Signature, Tuple[FactTuple, ...]]
+    stats: EvalStats
+    derivations: Optional[dict]
+
+
+#: Worker-process plan caches, keyed by planner.  A worker evaluates
+#: each component of a run at most once and components partition the
+#: rules, so sharing a cache across components changes no counter —
+#: but it is the hook that lets repeated shipments of the same rules
+#: (structural equality survives pickling) reuse compilations.
+_WORKER_CACHES: Dict[Optional[str], PlanCache] = {}
+
+
+def _init_worker() -> None:
+    """Pool initializer: cold plan cache, inherited heap frozen.
+
+    Runs in the worker at startup (spawn-safe: it is a module-level
+    function, importable without side effects).  Clearing the plan
+    caches guarantees counter determinism even if a pool is ever
+    reused across evaluations.  ``gc.freeze()`` matters under fork: a
+    worker inherits the parent heap copy-on-write, and the first
+    full cyclic-GC pass in the child would touch (and thus copy) every
+    inherited page — freezing moves inherited objects to the permanent
+    generation so child collections only ever scan what the worker
+    itself allocates.
+    """
+    import gc
+
+    _WORKER_CACHES.clear()
+    gc.freeze()
+
+
+def _worker_cache(planner: Optional[str]) -> PlanCache:
+    cache = _WORKER_CACHES.get(planner)
+    if cache is None:
+        cache = _WORKER_CACHES[planner] = PlanCache(planner or "greedy")
+    return cache
+
+
+def evaluate_component(spec: ComponentSpec) -> ComponentResult:
+    """Run one component spec to fixpoint (the process-worker entry).
+
+    Module-level so it pickles by reference under any multiprocessing
+    start method.  Builds a private database from the spec's relation
+    snapshots, recompiles plans against the per-worker cache, and
+    returns only the write-set delta logs — the parent already holds
+    everything else.
+    """
+    from repro.engine.scheduler import ComponentRun, ComponentTask
+
+    db = Database()
+    db.relations = dict(spec.relations)
+    baselines = {
+        sig: len(db.relation(*sig)._log) for sig in sorted(spec.sigs)
+    }
+    recorder = None
+    if spec.record:
+        from repro.engine.provenance import DerivationRecorder
+
+        recorder = DerivationRecorder({}, None)
+    task = ComponentTask(
+        spec.index, 0, spec.sigs, list(spec.rules), spec.recursive
+    )
+    stats = EvalStats()
+    run = ComponentRun(
+        task,
+        mode=spec.mode,
+        use_plans=spec.use_plans,
+        planner=spec.planner,
+        max_iterations=spec.max_iterations,
+        max_facts=spec.max_facts,
+        recorder=recorder,
+        fact_base=spec.fact_base,
+        cache=_worker_cache(spec.planner) if spec.use_plans else None,
+    )
+    run.execute(db, stats)
+    deltas = {
+        sig: tuple(db.relation(*sig)._log[base:])
+        for sig, base in baselines.items()
+    }
+    return ComponentResult(
+        deltas=deltas,
+        stats=stats,
+        derivations=recorder.derivations if recorder is not None else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+
+class ExecutorBackend:
+    """How one depth batch's mutually independent components execute.
+
+    ``run_batch`` receives the owning scheduler (for knobs, the shared
+    recorder, and :meth:`~repro.engine.scheduler.SCCScheduler.component_run`),
+    the batch, the live database, and the run-wide stats.  It must
+    leave ``db``/``stats`` exactly as the sequential schedule would —
+    wall time and scheduling are the only degrees of freedom.
+    ``close`` releases pooled resources; the scheduler calls it when a
+    run finishes (a backend must tolerate reuse after close).
+    """
+
+    name = "?"
+
+    def run_batch(self, scheduler, batch, db: Database, stats: EvalStats) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutorBackend):
+    """Batch components in batch order on the calling thread.
+
+    The deterministic reference schedule — what ``jobs=1`` does on any
+    backend — made selectable so a run can force sequential execution
+    regardless of the session-wide ``REPRO_JOBS``.
+    """
+
+    name = "serial"
+
+    def run_batch(self, scheduler, batch, db: Database, stats: EvalStats) -> None:
+        for task in batch:
+            scheduler.component_run(task, scheduler.recorder).execute(db, stats)
+
+
+class ThreadBackend(ExecutorBackend):
+    """Batch components on a ``ThreadPoolExecutor`` over staged relations.
+
+    Each component works against a staged database (private copies of
+    its own relations, shared references to everything else) and a
+    private stats object; stages, stats, and forked provenance
+    recorders merge back in batch order at the barrier, so the result —
+    including every counter except wall time — is identical to the
+    sequential schedule.  GIL-bound: overlaps little pure-Python
+    compute, but costs no cross-process copies.
+    """
+
+    name = "thread"
+
+    def run_batch(self, scheduler, batch, db: Database, stats: EvalStats) -> None:
+        fact_base = stats.facts
+        stages = [db.stage(task.sigs) for task in batch]
+        locals_ = [EvalStats() for _ in batch]
+        recorder = scheduler.recorder
+        recorders = [
+            recorder.fork() if recorder is not None else None for _ in batch
+        ]
+
+        def work(i: int) -> None:
+            run = scheduler.component_run(
+                batch[i], recorders[i], fact_base=fact_base
+            )
+            run.execute(stages[i], locals_[i])
+
+        with ThreadPoolExecutor(
+            max_workers=min(scheduler.jobs, len(batch))
+        ) as executor:
+            futures = [executor.submit(work, i) for i in range(len(batch))]
+            errors = []
+            for future in futures:  # batch order, deterministic
+                try:
+                    future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+        if errors:
+            raise errors[0]
+        for task, stage, local, forked in zip(batch, stages, locals_, recorders):
+            db.adopt_stage(stage, task.sigs)
+            stats.absorb(local)
+            if forked is not None:
+                recorder.absorb(forked)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Batch components on a ``ProcessPoolExecutor`` via component specs.
+
+    The only backend with true compute parallelism under the GIL.  Per
+    component it ships a :class:`ComponentSpec` (rules + knobs + compact
+    relation snapshots of the component's read/write signatures) and
+    merges the returned :class:`ComponentResult` delta logs, stats, and
+    derivations at the barrier in batch order — so facts, counters, and
+    provenance trees are bit-identical to every other backend.  The
+    pool persists across batches of one run (workers keep their plan
+    caches warm) and is shut down by the scheduler at the end of the
+    run.
+
+    ``start_method`` picks the multiprocessing context (``"fork"``,
+    ``"spawn"``, ...); ``None`` uses the platform default.  Worker
+    entry points are module-level, so any method is safe.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: Optional[str] = None):
+        self.start_method = start_method
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        if self._pool is not None and self._pool_workers == workers:
+            return self._pool
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_init_worker,
+        )
+        self._pool_workers = workers
+        return self._pool
+
+    def run_batch(self, scheduler, batch, db: Database, stats: EvalStats) -> None:
+        pool = self._ensure_pool(min(scheduler.jobs, 61))  # 61: executor cap
+        fact_base = stats.facts
+        specs = [
+            ComponentSpec.from_task(scheduler, task, db, fact_base)
+            for task in batch
+        ]
+        futures = [pool.submit(evaluate_component, spec) for spec in specs]
+        results: List[Optional[ComponentResult]] = []
+        errors = []
+        for future in futures:  # batch order, deterministic
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                results.append(None)
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        recorder = scheduler.recorder
+        for result in results:
+            for sig, facts in result.deltas.items():
+                rel = db.relation(*sig)
+                for fact in facts:
+                    rel.add(fact)
+            stats.absorb(result.stats)
+            if recorder is not None and result.derivations is not None:
+                recorder.absorb_derivations(result.derivations)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0

@@ -155,15 +155,54 @@ class Relation:
     def statistics(self) -> RelationStatistics:
         """A snapshot of cardinality plus per-index distinct-key counts.
 
-        Iterates over a point-in-time copy of the index table: under
-        parallel SCC evaluation another component may lazily build an
-        index on a shared lower-stratum relation while this one reads
-        statistics, and a live ``dict`` iteration would raise.
+        Built on :meth:`_distinct_snapshot`, which iterates over a
+        point-in-time copy of the index table: under parallel SCC
+        evaluation another component may lazily build an index on a
+        shared lower-stratum relation while this one reads statistics,
+        and a live ``dict`` iteration would raise.
         """
+        return RelationStatistics(len(self.tuples), self._distinct_snapshot())
+
+    def snapshot(self) -> "Relation":
+        """A compact, self-contained copy: facts plus statistics, no indexes.
+
+        This is the wire form of a relation — what the process
+        execution backend ships to a worker.  The log (and with it the
+        tuple set and insertion order) is copied; every live index is
+        reduced to its distinct-key count and carried as a statistic,
+        so a cost planner on the far side plans from the same
+        cardinality estimates without paying to rebuild (or transfer)
+        any bucket table.
+        """
+        dup = Relation(self.name, self.arity)
+        dup._log = list(self._log)
+        dup.tuples = set(self._log)
+        dup._carried_distinct = self._distinct_snapshot()
+        return dup
+
+    def _distinct_snapshot(self) -> Dict[Tuple[int, ...], int]:
+        """Carried + live distinct-key counts (live indexes win)."""
         distinct = dict(self._carried_distinct)
         for positions, index in list(self._indexes.items()):
             distinct[positions] = len(index)
-        return RelationStatistics(len(self.tuples), distinct)
+        return distinct
+
+    def __getstate__(self):
+        # Pickle the compact snapshot form: the log determines the tuple
+        # set (add() appends only novel facts), and indexes travel as
+        # distinct-key counts only.  Workers rebuild indexes lazily on
+        # first probe, exactly like a fresh relation.
+        return (self.name, self.arity, tuple(self._log), self._distinct_snapshot())
+
+    def __setstate__(self, state) -> None:
+        name, arity, log, distinct = state
+        self.name = name
+        self.arity = arity
+        self._log = list(log)
+        self.tuples = set(log)
+        self._indexes = {}
+        self._index_hits = {}
+        self._carried_distinct = dict(distinct)
 
     def view(self, start: int, stop: int) -> "RelationView":
         """A read-only view of insertions ``start:stop`` (log order).
@@ -289,6 +328,17 @@ class RelationView:
             for positions, index in self._indexes.items():
                 distinct[positions] = len(index)
         return RelationStatistics(self.stop - self.start, distinct)
+
+    def __getstate__(self):
+        # Compact wire form: the window bounds plus the parent relation
+        # (which itself pickles compactly); slice-local indexes and the
+        # memoized fact set are cheap to rebuild and never travel.
+        return (self.relation, self.start, self.stop)
+
+    def __setstate__(self, state) -> None:
+        self.relation, self.start, self.stop = state
+        self._indexes = None
+        self._set = None
 
     def __repr__(self) -> str:
         return f"RelationView({self.name}/{self.arity}, [{self.start}:{self.stop}])"
@@ -418,6 +468,25 @@ class Database:
             rel = self.relations.get(sig)
             out.relations[sig] = (
                 rel.copy() if rel is not None else Relation(*sig)
+            )
+        return out
+
+    def snapshot(self, signatures: Iterable[Signature]) -> "Database":
+        """A self-contained compact database of just ``signatures``.
+
+        The process-backend counterpart of :meth:`stage`: where a stage
+        shares non-written relations by reference (fine inside one
+        address space), a snapshot holds compact
+        :meth:`Relation.snapshot` copies of exactly the named
+        signatures — a component's read and write sets — so only the
+        facts that component can actually touch cross the process
+        boundary.  Missing signatures snapshot as empty relations.
+        """
+        out = Database()
+        for sig in signatures:
+            rel = self.relations.get(sig)
+            out.relations[sig] = (
+                rel.snapshot() if rel is not None else Relation(*sig)
             )
         return out
 

@@ -18,12 +18,13 @@ differential testing.
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.datalog.program import Program
 from repro.engine.database import Database, load_program_facts
+from repro.engine.joins import instantiate_head, join_rule
 from repro.engine.scheduler import SCCScheduler
-from repro.engine.stats import EvalStats
+from repro.engine.stats import EvalStats, NonTerminationError
 
 
 def naive_eval(
@@ -34,6 +35,7 @@ def naive_eval(
     use_plans: bool = True,
     planner: Optional[str] = None,
     jobs: Optional[int] = None,
+    backend=None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
@@ -43,8 +45,9 @@ def naive_eval(
     diverging programs in the paper (Counting on left-linear rules) by
     raising :class:`~repro.engine.stats.NonTerminationError`.
     ``planner`` selects greedy or cost-based join ordering for compiled
-    plans and ``jobs`` evaluates independent SCCs concurrently (see
-    :func:`repro.engine.seminaive.seminaive_eval` for both knobs).
+    plans, ``jobs`` evaluates independent SCCs concurrently, and
+    ``backend`` picks the executor those batches run on (see
+    :func:`repro.engine.seminaive.seminaive_eval` for all three knobs).
     """
     db = edb.copy()
     stats = EvalStats()
@@ -57,10 +60,80 @@ def naive_eval(
         use_plans=use_plans,
         planner=planner,
         jobs=jobs,
+        backend=backend,
         max_iterations=max_iterations,
         max_facts=max_facts,
     )
     scheduler.run(db, stats)
+
+    stats.seconds = time.perf_counter() - start
+    return db, stats
+
+
+def naive_fixpoint_reference(
+    program: Program,
+    edb: Database,
+    max_iterations: Optional[int] = None,
+    max_facts: Optional[int] = None,
+) -> Tuple[Database, EvalStats]:
+    """A scheduler-free whole-program naive fixpoint (the outer oracle).
+
+    Since the unified evaluation core, :func:`naive_eval` — the
+    differential-test oracle — runs through the same
+    :class:`~repro.engine.scheduler.SCCScheduler` as the evaluators it
+    checks, so a hypothetical stratification or batching bug would hit
+    oracle and testee alike.  This function restores an independent
+    reference: **no** dependency graph, **no** SCCs, **no** depth
+    batches, **no** compiled plans — every proper rule is re-evaluated
+    over the whole database through the legacy
+    :func:`~repro.engine.joins.join_rule` interpreter until a full
+    round derives nothing new.  Maximally redundant (the global
+    quadratic loop the paper's Section 1 contrasts against), but its
+    correctness rests only on ``join_rule`` and :class:`Relation.add`.
+
+    Returns ``(database, stats)``.  The derived *database* must equal
+    every other evaluator's; the *counters* intentionally do not —
+    ``iterations`` counts global rounds, not per-component rounds, and
+    ``inferences`` includes the cross-component rederivations the
+    stratified schedule avoids.  The differential fuzz suite compares
+    fixpoints, not counters, against this reference.
+    """
+    db = edb.copy()
+    stats = EvalStats()
+    start = time.perf_counter()
+    stats.facts += load_program_facts(program, db)
+    rules = list(program.proper_rules())
+
+    while True:
+        stats.iterations += 1
+        if max_iterations is not None and stats.iterations > max_iterations:
+            raise NonTerminationError(
+                f"evaluation exceeded {max_iterations} iterations",
+                stats.iterations,
+                stats.facts,
+            )
+        derived: List[Tuple[Tuple[str, int], tuple]] = []
+        for rule in rules:
+            sig = rule.head.signature
+
+            def on_match(bindings, rule=rule, sig=sig):
+                stats.inferences += 1
+                derived.append((sig, instantiate_head(rule, bindings)))
+
+            join_rule(db, rule, on_match)
+        changed = False
+        for sig, fact in derived:
+            if db.relation(*sig).add(fact):
+                stats.record_fact(sig)
+                changed = True
+                if max_facts is not None and stats.facts > max_facts:
+                    raise NonTerminationError(
+                        f"evaluation exceeded {max_facts} facts",
+                        stats.iterations,
+                        stats.facts,
+                    )
+        if not changed:
+            break
 
     stats.seconds = time.perf_counter() - start
     return db, stats

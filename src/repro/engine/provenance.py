@@ -152,6 +152,18 @@ class DerivationRecorder:
     def absorb(self, other: "DerivationRecorder") -> None:
         self.derivations.update(other.derivations)
 
+    def absorb_derivations(
+        self, derivations: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]]
+    ) -> None:
+        """Fold in a bare derivations mapping (no recorder around it).
+
+        The process execution backend returns a worker recorder's
+        derivations dict across the process boundary; the keys are the
+        worker component's own head signatures, hence disjoint from
+        every other component's, so a plain update is the merge.
+        """
+        self.derivations.update(derivations)
+
     def start_round(self) -> None:
         self._round.clear()
 
@@ -228,18 +240,22 @@ def provenance_eval(
     use_plans: bool = True,
     planner: Optional[str] = None,
     jobs: Optional[int] = None,
+    backend=None,
 ) -> ProvenanceResult:
     """SCC-stratified semi-naive fixpoint recording one derivation per fact.
 
     Facts derived in round ``r`` of their component record bodies from
     rounds ``< r`` (the synchronous schedule), so recorded derivations
     are acyclic and height-minimal round-wise.  ``use_plans``/
-    ``planner``/``jobs`` mirror
+    ``planner``/``jobs``/``backend`` mirror
     :func:`~repro.engine.seminaive.seminaive_eval`; every combination
     derives the same fixpoint, the same counters, and — because
-    recording is canonical — the same derivation trees.
-    ``stats.provenance_plan_ratio`` reports how much of the run used
-    compiled plans (1.0, or 0.0 under ``use_plans=False``).
+    recording is canonical — the same derivation trees (under the
+    process backend, workers record into private recorders whose
+    derivations return with the component results and merge at the
+    batch barrier).  ``stats.provenance_plan_ratio`` reports how much
+    of the run used compiled plans (1.0, or 0.0 under
+    ``use_plans=False``).
     """
     db = edb.copy()
     stats = EvalStats()
@@ -259,6 +275,7 @@ def provenance_eval(
         use_plans=use_plans,
         planner=planner,
         jobs=jobs,
+        backend=backend,
         max_iterations=max_iterations,
         max_facts=max_facts,
         recorder=DerivationRecorder(derivations, edb_keys),

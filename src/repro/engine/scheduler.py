@@ -23,26 +23,27 @@ of whose dependencies live at depths ``<= d``.  Two components in the
 same batch share no dependency edge in either direction, so their
 **write sets are disjoint** (a component only writes head relations of
 its own SCC) and neither reads what the other writes.  With
-``jobs > 1`` (or ``REPRO_JOBS``) the scheduler evaluates a batch's
-components concurrently on a ``ThreadPoolExecutor``, giving each one
-
-* a *staged* database (:meth:`Database.stage`) so writes land in
-  private relation copies merged back at the batch barrier, and
-* a private :class:`EvalStats` (merged in batch order at the barrier),
-
-so ``facts``/``inferences``/``iterations`` are bit-identical for every
-``jobs`` value; only wall time and scheduling vary.
+``jobs > 1`` (or ``REPRO_JOBS``) the scheduler hands a batch to its
+:class:`~repro.engine.backends.ExecutorBackend` (``backend=`` /
+``REPRO_BACKEND``): ``serial`` runs it in batch order, ``thread``
+overlaps components on a thread pool over staged relations, and
+``process`` ships declarative
+:class:`~repro.engine.backends.ComponentSpec` work units to a process
+pool for real compute parallelism.  Every backend merges component
+results at the batch barrier in batch order, so
+``facts``/``inferences``/``iterations`` are bit-identical for every
+backend and every ``jobs`` value; only wall time and scheduling vary.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dependency import DependencyGraph
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.engine.backends import make_backend
 from repro.engine.cost import resolve_planner
 from repro.engine.database import Database, FactTuple, Relation
 from repro.engine.joins import _resolve, instantiate_head, join_rule, relation_from_tuples
@@ -162,6 +163,13 @@ class SCCScheduler:
     (see :class:`repro.engine.provenance.DerivationRecorder`).  It is
     only consulted on the semi-naive paths — provenance evaluation is
     SCC-stratified semi-naive.
+
+    ``backend`` selects how parallel depth batches execute: a name
+    (``"serial"``/``"thread"``/``"process"``; ``None`` reads
+    ``REPRO_BACKEND``, defaulting to ``thread``) or a ready
+    :class:`~repro.engine.backends.ExecutorBackend` instance.  With
+    ``jobs == 1`` the backend is never consulted — every schedule is
+    the sequential one.
     """
 
     def __init__(
@@ -171,6 +179,7 @@ class SCCScheduler:
         use_plans: bool = True,
         planner: Optional[str] = None,
         jobs: Optional[int] = None,
+        backend=None,
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
         recorder=None,
@@ -182,6 +191,7 @@ class SCCScheduler:
         self.use_plans = use_plans
         self.planner = resolve_planner(planner) if use_plans else None
         self.jobs = resolve_jobs(jobs)
+        self.backend = make_backend(backend)
         self.max_iterations = max_iterations
         self.max_facts = max_facts
         self.recorder = recorder
@@ -216,73 +226,58 @@ class SCCScheduler:
 
     # ------------------------------------------------------------------
 
+    def component_run(
+        self, task: ComponentTask, recorder=None, fact_base: int = 0
+    ) -> "ComponentRun":
+        """A :class:`ComponentRun` for ``task`` with this run's knobs.
+
+        The execution backends call this so every backend evaluates
+        components with exactly the same configuration — they differ
+        only in where the run executes and how results merge back.
+        """
+        return ComponentRun(
+            task,
+            mode=self.mode,
+            use_plans=self.use_plans,
+            planner=self.planner,
+            max_iterations=self.max_iterations,
+            max_facts=self.max_facts,
+            recorder=recorder,
+            fact_base=fact_base,
+        )
+
     def run(self, db: Database, stats: EvalStats) -> None:
         """Evaluate every component batch-by-batch into ``db``.
 
         ``stats`` accumulates across components.  Raises
         :class:`NonTerminationError` when a component exceeds the
         iteration or fact budget (budgets are whole-evaluation, shared
-        across components).
+        across components).  Batches with parallelism to exploit go to
+        the execution backend; its pooled resources are released when
+        the run finishes.
         """
         stats.scc_count += len(self.tasks)
-        for batch in self.batches:
-            if len(batch) > 1:
-                stats.scc_parallel_batches += 1
-            if self.jobs == 1 or len(batch) == 1:
-                for task in batch:
-                    ComponentRun(self, task, self.recorder).execute(db, stats)
-            else:
-                self._run_batch_parallel(batch, db, stats)
+        try:
+            for batch in self.batches:
+                if len(batch) > 1:
+                    stats.scc_parallel_batches += 1
+                if self.jobs == 1 or len(batch) == 1:
+                    for task in batch:
+                        self.component_run(task, self.recorder).execute(db, stats)
+                else:
+                    self.backend.run_batch(self, batch, db, stats)
+                    self._recheck_fact_budget(stats)
+        finally:
+            self.backend.close()
 
-    def _run_batch_parallel(
-        self, batch: List[ComponentTask], db: Database, stats: EvalStats
-    ) -> None:
-        """Evaluate one depth batch's components concurrently.
+    def _recheck_fact_budget(self, stats: EvalStats) -> None:
+        """Re-check ``max_facts`` against a batch's absorbed totals.
 
-        Each component works against a staged database (private copies
-        of its own relations, shared references to everything else) and
-        a private stats object; stages, stats, and forked provenance
-        recorders merge back in batch order at the barrier, so the
-        result — including every counter except wall time — is
-        identical to the sequential schedule.
+        Parallel components check the budget against the batch-start
+        baseline only; the barrier re-check makes a batch that
+        *collectively* exceeds the budget raise exactly like the
+        sequential schedule would (at most one batch later).
         """
-        fact_base = stats.facts
-        stages = [db.stage(task.sigs) for task in batch]
-        locals_ = [EvalStats() for _ in batch]
-        recorders = [
-            self.recorder.fork() if self.recorder is not None else None
-            for _ in batch
-        ]
-
-        def work(i: int) -> None:
-            run = ComponentRun(
-                self, batch[i], recorders[i], fact_base=fact_base
-            )
-            run.execute(stages[i], locals_[i])
-
-        with ThreadPoolExecutor(
-            max_workers=min(self.jobs, len(batch))
-        ) as executor:
-            futures = [executor.submit(work, i) for i in range(len(batch))]
-            errors = []
-            for future in futures:  # batch order, deterministic
-                try:
-                    future.result()
-                except Exception as exc:  # noqa: BLE001 - re-raised below
-                    errors.append(exc)
-        if errors:
-            raise errors[0]
-        for task, stage, local, recorder in zip(
-            batch, stages, locals_, recorders
-        ):
-            db.adopt_stage(stage, task.sigs)
-            stats.absorb(local)
-            if recorder is not None:
-                self.recorder.absorb(recorder)
-        # Components checked the budgets against the batch-start
-        # baseline only; re-check the absorbed totals so a batch that
-        # collectively exceeds a budget raises exactly like the
-        # sequential schedule would (at most one batch later).
         if self.max_facts is not None and stats.facts > self.max_facts:
             raise NonTerminationError(
                 f"evaluation exceeded {self.max_facts} facts",
@@ -309,6 +304,17 @@ class ComponentRun:
     components); ``max_facts`` bounds the whole evaluation's derived
     facts, with ``fact_base`` carrying the budget context into
     parallel batches, where ``stats`` is component-local.
+
+    Construction takes the evaluation knobs explicitly (rather than a
+    scheduler) so the run is self-contained: the process execution
+    backend rebuilds one inside a worker from a declarative
+    :class:`~repro.engine.backends.ComponentSpec`, far from any
+    scheduler object.  ``cache`` lets a worker supply its own
+    :class:`~repro.engine.plan.PlanCache`; by default each run
+    compiles into a private cache — rules belong to exactly one
+    component (grouped by head SCC), so either way exactly the same
+    (rule, roles) pairs compile, and the cache is free to use from a
+    worker thread or process.
     """
 
     __slots__ = (
@@ -325,22 +331,25 @@ class ComponentRun:
 
     def __init__(
         self,
-        scheduler: SCCScheduler,
         task: ComponentTask,
+        mode: str = "seminaive",
+        use_plans: bool = True,
+        planner: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+        max_facts: Optional[int] = None,
         recorder=None,
         fact_base: int = 0,
+        cache: Optional[PlanCache] = None,
     ):
         self.task = task
-        self.mode = scheduler.mode
-        self.use_plans = scheduler.use_plans
-        # Rules belong to exactly one component (grouped by head SCC),
-        # so a per-component cache compiles exactly the same set of
-        # (rule, roles) pairs a shared cache would — and is free to use
-        # from a worker thread.
-        self.cache = PlanCache(scheduler.planner) if scheduler.use_plans else None
+        self.mode = mode
+        self.use_plans = use_plans
+        if cache is None and use_plans:
+            cache = PlanCache(planner or "greedy")
+        self.cache = cache if use_plans else None
         self.recorder = recorder
-        self.max_iterations = scheduler.max_iterations
-        self.max_facts = scheduler.max_facts
+        self.max_iterations = max_iterations
+        self.max_facts = max_facts
         self.fact_base = fact_base
         self.rounds = 0
 

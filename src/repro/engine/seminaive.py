@@ -44,6 +44,7 @@ def seminaive_eval(
     use_plans: bool = True,
     planner: Optional[str] = None,
     jobs: Optional[int] = None,
+    backend=None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, semi-naively.
 
@@ -64,10 +65,15 @@ def seminaive_eval(
 
     ``jobs`` sets how many mutually independent SCCs (same topological
     depth batch) evaluate concurrently; ``None`` reads ``REPRO_JOBS``,
-    defaulting to 1.  Every combination of backend, planner, and job
-    count derives the identical fixpoint with identical ``facts``/
-    ``inferences``/``iterations`` counters; only join order, probe
-    counts, and wall time differ.
+    defaulting to 1.  ``backend`` selects the executor those batches
+    run on — ``"serial"``, ``"thread"`` (the default), or
+    ``"process"`` (:class:`~repro.engine.backends.ProcessBackend`,
+    real multi-core parallelism; components ship as declarative specs
+    and workers recompile plans locally); ``None`` reads
+    ``REPRO_BACKEND``.  Every combination of execution backend,
+    planner, and job count derives the identical fixpoint with
+    identical ``facts``/``inferences``/``iterations`` counters; only
+    join order, probe counts, and wall time differ.
     """
     db = edb.copy()
     stats = EvalStats()
@@ -80,6 +86,7 @@ def seminaive_eval(
         use_plans=use_plans,
         planner=planner,
         jobs=jobs,
+        backend=backend,
         max_iterations=max_iterations,
         max_facts=max_facts,
     )

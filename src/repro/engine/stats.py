@@ -33,6 +33,13 @@ class NonTerminationError(RuntimeError):
         self.iterations = iterations
         self.facts = facts
 
+    def __reduce__(self):
+        # BaseException's default pickling replays only ``args`` (the
+        # message), which would drop the counters and crash on the
+        # three-argument constructor; the process execution backend
+        # needs the full error to cross back from a worker.
+        return (NonTerminationError, (self.args[0], self.iterations, self.facts))
+
 
 @dataclass
 class EvalStats:

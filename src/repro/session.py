@@ -54,9 +54,12 @@ class DeductiveDatabase:
     defers to the ``REPRO_PLANNER`` environment variable.  ``jobs``
     evaluates independent SCCs of the compiled program concurrently
     (``None`` defers to ``REPRO_JOBS``; answers and counters are
-    identical for every job count).  ``use_plans=False`` drops to the
-    legacy dict-based interpreter — the differential-testing escape
-    hatch, not a production setting.
+    identical for every job count) and ``backend`` picks the executor
+    they run on — ``"serial"``, ``"thread"``, or ``"process"`` for
+    real multi-core parallelism (``None`` defers to
+    ``REPRO_BACKEND``).  ``use_plans=False`` drops to the legacy
+    dict-based interpreter — the differential-testing escape hatch,
+    not a production setting.
     """
 
     def __init__(
@@ -64,6 +67,7 @@ class DeductiveDatabase:
         use_instance_checks: bool = True,
         planner: Optional[str] = None,
         jobs: Optional[int] = None,
+        backend: Optional[str] = None,
         use_plans: bool = True,
     ):
         self._rules: List = []
@@ -74,6 +78,7 @@ class DeductiveDatabase:
         self._use_instance_checks = use_instance_checks
         self._planner = planner
         self._jobs = jobs
+        self._backend = backend
         self._use_plans = use_plans
 
     # ------------------------------------------------------------------
@@ -194,6 +199,7 @@ class DeductiveDatabase:
             edb_view,
             planner=self._planner,
             jobs=self._jobs,
+            backend=self._backend,
             use_plans=self._use_plans,
         )
         unwrapped = {

@@ -264,6 +264,47 @@ def wide_dag_edb(width: int = 4, length: int = 40) -> Database:
     return db
 
 
+def coarse_components_program(width: int = 4) -> Program:
+    """The process-backend separation workload: few, *heavy* components.
+
+    ``width`` mutually independent **nonlinear** transitive closures::
+
+        t0(X, Y) :- e0(X, Y).        t0(X, Y) :- t0(X, W), t0(W, Y).
+        ...
+        t{w-1}(X, Y) :- e{w-1}(X, Y). ...
+
+    all in one depth-0 batch, with nothing downstream of them (the
+    wide-DAG workload's ``reach`` collector is a second, *serial*
+    component roughly as large as all the closures combined, which
+    caps any parallel speedup near 2x — Amdahl).  The nonlinear rule
+    is the point: on a chain of ``n`` edges it performs ``Θ(n³)``
+    inferences to derive ``Θ(n²)`` facts, so per-component *compute*
+    dwarfs what the process backend serializes (the EDB snapshot out,
+    the delta log back) — the coarse grain where shipping a component
+    to another process pays for itself and real multi-core wall-time
+    wins appear.  The linear closure, by contrast, does one inference
+    per derived fact and the delta-log transfer swallows the win.
+    """
+    from repro.datalog.parser import parse_program
+
+    lines = []
+    for i in range(max(1, width)):
+        lines.append(f"t{i}(X, Y) :- e{i}(X, Y).")
+        lines.append(f"t{i}(X, Y) :- t{i}(X, W), t{i}(W, Y).")
+    return parse_program("\n".join(lines))
+
+
+def coarse_components_edb(width: int = 4, length: int = 50) -> Database:
+    """Disjoint chains for :func:`coarse_components_program`.
+
+    Same shape as :func:`wide_dag_edb` (one ``length``-edge chain per
+    component over a private node namespace): ``length`` edges in,
+    ``length * (length + 1) / 2`` closure facts out — and, through the
+    nonlinear rule, ``Θ(length³)`` inferences — per component.
+    """
+    return wide_dag_edb(width, length)
+
+
 def random_edb(
     seed: int,
     n: int = 8,

@@ -74,13 +74,15 @@ def test_unconstrained_programs_never_lose_answers(
     n=st.integers(3, 8),
 )
 def test_all_backends_match_interpreter_seminaive(program_seed, edb_seed, n):
-    """Four-way differential test for the compiled-plan executor.
+    """Six-way differential test for the compiled-plan executor.
 
     The legacy dict-based ``join_rule`` interpreter
     (``use_plans=False``), the greedy slot-based plans (the default),
     the cost-based planner (``planner="cost"``, statistics-driven join
-    order with drift re-planning), and the parallel SCC scheduler
-    (``jobs=2``, staged writes merged at depth-batch barriers) must
+    order with drift re-planning), the parallel SCC scheduler on each
+    execution backend (``jobs=2`` with ``serial``, ``thread``, and
+    ``process`` executors — the last shipping picklable component
+    specs to worker processes that recompile plans locally) must
     derive identical fixpoints — same database, same facts/inferences/
     iterations counters — on randomized programs and databases.
     """
@@ -89,13 +91,18 @@ def test_all_backends_match_interpreter_seminaive(program_seed, edb_seed, n):
     db_interp, stats_interp = seminaive_eval(program, edb, use_plans=False)
     db_greedy, stats_greedy = seminaive_eval(program, edb, planner="greedy")
     db_cost, stats_cost = seminaive_eval(program, edb, planner="cost")
-    db_jobs, stats_jobs = seminaive_eval(
-        program, edb, planner="greedy", jobs=2
-    )
+    plan_runs = [stats_greedy, stats_cost]
     assert db_greedy == db_interp, f"greedy diverged on seed {program_seed}"
     assert db_cost == db_interp, f"cost diverged on seed {program_seed}"
-    assert db_jobs == db_interp, f"jobs=2 diverged on seed {program_seed}"
-    for stats_plan in (stats_greedy, stats_cost, stats_jobs):
+    for backend in ("serial", "thread", "process"):
+        db_jobs, stats_jobs = seminaive_eval(
+            program, edb, planner="greedy", jobs=2, backend=backend
+        )
+        assert db_jobs == db_interp, (
+            f"jobs=2 backend={backend} diverged on seed {program_seed}"
+        )
+        plan_runs.append(stats_jobs)
+    for stats_plan in plan_runs:
         assert stats_plan.facts == stats_interp.facts
         assert stats_plan.inferences == stats_interp.inferences
         assert stats_plan.iterations == stats_interp.iterations
@@ -103,6 +110,46 @@ def test_all_backends_match_interpreter_seminaive(program_seed, edb_seed, n):
         assert stats_plan.scc_count == stats_interp.scc_count
     assert stats_interp.plans_compiled == 0
     assert stats_greedy.replans == 0  # greedy plans are never invalidated
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p_seed=st.integers(0, 10_000),
+    q_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 10_000),
+    n=st.integers(3, 8),
+)
+def test_multi_component_programs_agree_across_executors(
+    p_seed, q_seed, edb_seed, n
+):
+    """Parallel batches genuinely execute on every backend.
+
+    A single random unit program is one SCC, so its depth batches hold
+    one component each and the parallel executors never engage.  Gluing
+    two independently generated programs over disjoint recursive
+    predicates (shared EDB) puts two recursive components in the same
+    depth batch — the shape where ``thread`` stages writes and
+    ``process`` actually ships component specs to worker processes —
+    and all executors must still match the sequential interpreter
+    bit-for-bit on facts/inferences/iterations.
+    """
+    from repro.datalog.program import Program
+
+    program = Program(
+        list(random_program(p_seed, predicate="p").rules)
+        + list(random_program(q_seed, predicate="q").rules)
+    )
+    edb = random_edb(edb_seed, n=n)
+    db_ref, stats_ref = seminaive_eval(program, edb, use_plans=False)
+    for backend in ("serial", "thread", "process"):
+        db, stats = seminaive_eval(program, edb, jobs=2, backend=backend)
+        assert db == db_ref, f"{backend} diverged on seeds {p_seed}/{q_seed}"
+        assert stats.facts == stats_ref.facts
+        assert stats.inferences == stats_ref.inferences
+        assert stats.iterations == stats_ref.iterations
+        # Both recursive components sit in one depth batch, so the
+        # parallel path (not the single-component fast path) ran.
+        assert stats.scc_parallel_batches >= 1
 
 
 @settings(max_examples=30, deadline=None)
@@ -154,6 +201,7 @@ def test_provenance_backends_record_identical_trees(program_seed, edb_seed, n):
         {},
         {"planner": "cost"},
         {"jobs": 2},
+        {"jobs": 2, "backend": "process"},
     ):
         prov = provenance_eval(program, edb, **kwargs)
         assert prov.database == base.database
@@ -203,6 +251,48 @@ def test_compiled_plans_match_interpreter_compound_terms():
         assert stats_plan.inferences == stats_interp.inferences
         assert db_plan.get("member", 2) is not None
         assert len(db_plan.get("member", 2)) > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 10_000),
+    n=st.integers(3, 8),
+    source=st.integers(0, 7),
+)
+def test_evaluators_match_scheduler_free_reference(
+    program_seed, edb_seed, n, source
+):
+    """Oracle independence: two evaluation stacks that share nothing.
+
+    Every scheduled evaluator — including ``naive_eval``, the suite's
+    usual oracle — runs through the same ``SCCScheduler``, so a
+    stratification or batching bug would hit oracle and testee alike.
+    ``naive_fixpoint_reference`` shares none of that machinery (no
+    dependency graph, no components, no compiled plans: whole-program
+    rounds through the legacy interpreter), and the tabled top-down
+    engine shares no bottom-up code at all.  All three must agree on
+    randomized programs and databases.
+    """
+    from repro.engine.naive import naive_fixpoint_reference
+    from repro.engine.topdown import topdown_eval
+
+    program = random_program(program_seed)
+    edb = random_edb(edb_seed, n=n)
+    ref_db, ref_stats = naive_fixpoint_reference(program, edb)
+    for label, evaluate in (("naive", naive_eval), ("seminaive", seminaive_eval)):
+        db, _ = evaluate(program, edb)
+        assert db == ref_db, (
+            f"{label} diverged from the scheduler-free reference "
+            f"on seed {program_seed}"
+        )
+    goal = parse_literal(f"p({source % n}, Y)")
+    top_down = topdown_eval(program, edb, goal)
+    assert top_down.answers == ref_db.query(goal), (
+        f"top-down diverged on seed {program_seed}"
+    )
+    assert ref_stats.plans_compiled == 0
+    assert ref_stats.scc_count == 0
 
 
 @settings(max_examples=30, deadline=None)
