@@ -24,6 +24,14 @@ workload: few heavy components, nothing serial downstream).  Note the
 proc speedups are hardware-bound: a single-core container time-slices
 the workers and reports ~1x regardless of the backend's scaling.
 
+The churn workload measures **incremental view maintenance**
+(`repro/engine/incremental.py`) against the from-scratch alternative:
+one `IncrementalSession` absorbs a deterministic insert/delete script
+while the baseline re-runs ``seminaive_eval`` per update
+(``churn/incremental`` vs ``churn/recompute`` rows and the
+``churn/incremental_vs_recompute`` speedup); the two final databases
+must be identical.
+
 Input sizes scale with ``REPRO_BENCH_SCALE`` (the acceptance runs use
 2; CI smoke uses 0.25).  Exits non-zero if any backends disagree on
 ``facts``/``inferences`` — the counters are the correctness signature,
@@ -46,10 +54,15 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.bench.harness import Measurement, Series, bench_scale
 from repro.datalog.parser import parse_program
+from repro.engine.incremental import IncrementalSession
 from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import EvalStats
 from repro.workloads.examples import same_generation_edb, same_generation_program
 from repro.workloads.graphs import chain_edb
 from repro.workloads.synthetic import (
+    churn_edb,
+    churn_program,
+    churn_script,
     coarse_components_edb,
     coarse_components_program,
     skewed_fanout_edb,
@@ -179,6 +192,88 @@ def workloads() -> List[WorkloadEntry]:
     ]
 
 
+def run_churn(
+    best_of: int, series: Series
+) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
+    """Incremental maintenance vs recompute on the churn workload.
+
+    One :class:`IncrementalSession` absorbs a deterministic script of
+    inserts/deletes against a large transitive closure; the recompute
+    baseline re-runs ``seminaive_eval`` from scratch on the evolving
+    EDB after every update.  Rows record the total *maintenance* time
+    across the script (the identical initial materialization is
+    excluded from both sides); the run fails if the two final
+    databases disagree — maintenance correctness is the row's
+    precondition, not an afterthought.
+    """
+    n = scaled(150, minimum=20)
+    update_count = scaled(40, minimum=8)
+    program = churn_program()
+    script = churn_script(seed=11, updates=update_count, n=n)
+
+    best_incr = None
+    best_incr_stats = None
+    for _ in range(best_of):
+        session = IncrementalSession(program, churn_edb(n))
+        maintenance = EvalStats()
+        for op, pred, args in script:
+            maintenance.absorb(
+                session.insert([(pred, args)])
+                if op == "+"
+                else session.delete([(pred, args)])
+            )
+        if best_incr is None or maintenance.seconds < best_incr:
+            best_incr = maintenance.seconds
+            best_incr_stats = maintenance
+            incr_db = session.database
+
+    best_rec = None
+    for _ in range(best_of):
+        edb = churn_edb(n)
+        seconds = 0.0
+        for op, pred, args in script:
+            if op == "+":
+                edb.add_fact(pred, args)
+            else:
+                edb.remove_fact(pred, args)
+            rec_db, stats = seminaive_eval(program, edb)
+            seconds += stats.seconds
+        if best_rec is None or seconds < best_rec:
+            best_rec = seconds
+
+    ok = incr_db == rec_db
+    if not ok:
+        print(
+            "FAIL churn: incremental database diverged from the "
+            "from-scratch recompute",
+            file=sys.stderr,
+        )
+    facts = incr_db.total_facts()
+    rows = [
+        {
+            "label": "churn/incremental",
+            "n": n,
+            "facts": facts,
+            "inferences": best_incr_stats.inferences,
+            "seconds": round(best_incr, 6),
+        },
+        {
+            "label": "churn/recompute",
+            "n": n,
+            "facts": facts,
+            "inferences": None,
+            "seconds": round(best_rec, 6),
+        },
+    ]
+    speedup = best_rec / best_incr if best_incr else float("inf")
+    series.note(
+        f"churn: incremental {speedup:.2f}x vs per-update recompute over "
+        f"{len(script)} updates ({best_incr_stats.rederived} rederived, "
+        f"{best_incr_stats.incr_rounds} delta rounds)"
+    )
+    return rows, {"churn/incremental_vs_recompute": speedup}, ok
+
+
 def run(
     best_of: int, only: List[str] | None = None
 ) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
@@ -189,8 +284,9 @@ def run(
         "engine: planners, legacy interpreter, and execution backends"
     )
     selected = workloads()
+    churn_selected = only is None or "churn" in only
     if only:
-        unknown = set(only) - {name for name, *_ in selected}
+        unknown = set(only) - {name for name, *_ in selected} - {"churn"}
         if unknown:
             raise SystemExit(f"unknown workloads: {sorted(unknown)}")
         selected = [entry for entry in selected if entry[0] in only]
@@ -277,6 +373,11 @@ def run(
                 )
                 notes.append(f"{label} {speedups[key]:.2f}x vs jobs=1")
         series.note(" ".join(notes))
+    if churn_selected:
+        churn_rows, churn_speedups, churn_ok = run_churn(best_of, series)
+        rows.extend(churn_rows)
+        speedups.update(churn_speedups)
+        ok = ok and churn_ok
     series.show()
     return rows, speedups, ok
 

@@ -9,6 +9,10 @@ Commands
 ``run``        Evaluate a query over a program and facts file.
 ``validate``   Lint a program (safety, arities, singletons, ...).
 ``explain``    Print a derivation tree for one ground fact.
+``serve``      Materialize the program and serve queries under EDB
+               churn: an incremental-maintenance REPL (or ``--script``
+               batch mode) with ``+ fact.`` / ``- fact.`` / ``? query``
+               commands.
 
 Programs are Datalog text files; facts files are Datalog files of
 ground facts (``e(1, 2).``), loaded as the EDB.
@@ -115,8 +119,7 @@ def cmd_run(args) -> int:
         edb, planner=args.planner, jobs=jobs, backend=backend
     )
     strategy = "factored" if result.simplified is not None else "magic"
-    for row in sorted(answers, key=str):
-        print("\t".join(str(term) for term in row) if row else "true")
+    _print_answers(answers)
     print(
         f"-- {len(answers)} answers via {strategy}; {stats.facts} facts, "
         f"{stats.inferences} inferences, {stats.seconds * 1000:.1f} ms",
@@ -146,6 +149,90 @@ def cmd_explain(args) -> int:
         print(f"{fact} is not derivable", file=sys.stderr)
         return 1
     print(tree.render())
+    return 0
+
+
+def _print_answers(answers) -> None:
+    for row in sorted(answers, key=str):
+        print("\t".join(str(value) for value in row) if row else "true")
+
+
+def _serve_line(session, line: str, provenance: bool) -> bool:
+    """Execute one serve command; returns False on ``quit``.
+
+    Commands: ``+ facts.`` insert, ``- facts.`` delete, ``? query``
+    ask, ``explain fact`` derivation tree (``--provenance`` only),
+    ``stats`` counters, ``quit`` exit; blank lines and ``#`` comments
+    are skipped.  Errors (parse failures, unsafe input) report and
+    continue — a serving loop must survive bad requests.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return True
+    try:
+        if line.startswith("+"):
+            stats = session.insert(line[1:].strip())
+            print(
+                f"+{stats.facts} facts ({stats.incr_rounds} rounds, "
+                f"{stats.seconds * 1000:.1f} ms)"
+            )
+        elif line.startswith("-"):
+            stats = session.delete(line[1:].strip())
+            print(
+                f"deleted ({stats.incr_rounds} rounds, "
+                f"{stats.rederived} rederived, {stats.seconds * 1000:.1f} ms)"
+            )
+        elif line.startswith("?"):
+            _print_answers(session.query(line[1:].strip()))
+        elif line.startswith("explain "):
+            if not provenance:
+                print("error: explain needs --provenance", file=sys.stderr)
+            else:
+                print(session.explain(line[len("explain "):].strip()).render())
+        elif line == "stats":
+            print(session.stats)
+        elif line in ("quit", "exit"):
+            return False
+        else:
+            print(f"error: unknown command {line!r}", file=sys.stderr)
+    except (ValueError, KeyError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+    return True
+
+
+def cmd_serve(args) -> int:
+    from repro.engine.incremental import IncrementalSession
+
+    program = _load_program(args.program)
+    edb = _load_edb(args.facts)
+    jobs = _checked_jobs(args)
+    backend = _checked_backend(args)
+    session = IncrementalSession(
+        program,
+        edb,
+        planner=args.planner,
+        jobs=jobs,
+        backend=backend,
+        record_provenance=args.provenance,
+    )
+    print(
+        f"materialized {session.database.total_facts()} facts in "
+        f"{session.stats.seconds * 1000:.1f} ms; serving",
+        file=sys.stderr,
+    )
+    if args.script:
+        with open(args.script) as handle:
+            for line in handle:
+                if not _serve_line(session, line, args.provenance):
+                    break
+        return 0
+    while True:
+        try:
+            line = input("repro> ")
+        except EOFError:
+            break
+        if not _serve_line(session, line, args.provenance):
+            break
     return 0
 
 
@@ -199,6 +286,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--facts", help="Datalog file of ground facts")
     _add_engine_options(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help="materialize the program and maintain it under EDB churn",
+    )
+    p.add_argument("program")
+    p.add_argument("--facts", help="Datalog file of ground facts")
+    p.add_argument(
+        "--script",
+        help="batch mode: read serve commands (+/-/?/stats) from this "
+        "file instead of stdin",
+    )
+    p.add_argument(
+        "--provenance",
+        action="store_true",
+        help="record derivations and enable the 'explain fact' command",
+    )
+    _add_engine_options(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("validate", help="lint a program")
     p.add_argument("program")

@@ -32,6 +32,7 @@ from repro.engine.naive import naive_eval, naive_fixpoint_reference
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.topdown import topdown_eval, TopDownResult
 from repro.engine.provenance import provenance_eval, explain, DerivationTree
+from repro.engine.incremental import IncrementalSession
 
 __all__ = [
     "Database",
@@ -72,4 +73,5 @@ __all__ = [
     "provenance_eval",
     "explain",
     "DerivationTree",
+    "IncrementalSession",
 ]

@@ -204,6 +204,39 @@ class Relation:
         self._index_hits = {}
         self._carried_distinct = dict(distinct)
 
+    def remove_facts(self, facts: Iterable[FactTuple]) -> int:
+        """Remove ``facts``; returns how many were actually present.
+
+        The deletion hook for incremental view maintenance (DRed's
+        over-delete/prune step).  The insertion log is compacted to the
+        survivors in their original order, so subsequent semi-naive
+        maintenance passes keep slicing valid :meth:`view` windows.
+        Live indexes are *repaired*, not dropped: only the buckets the
+        doomed facts project into are filtered, so the per-deletion
+        cost scales with the deletion (times the bucket sizes), never
+        with the relation — churny maintenance keeps its hot indexes.
+
+        Must not be called while an evaluation holds views over this
+        relation: view bounds are log offsets and compaction moves them.
+        """
+        doomed = {fact for fact in facts if fact in self.tuples}
+        if not doomed:
+            return 0
+        self.tuples -= doomed
+        self._log = [fact for fact in self._log if fact not in doomed]
+        for positions, index in self._indexes.items():
+            touched = {tuple(fact[i] for i in positions) for fact in doomed}
+            for key in touched:
+                bucket = index.get(key)
+                if bucket is None:
+                    continue
+                survivors = [fact for fact in bucket if fact not in doomed]
+                if survivors:
+                    index[key] = survivors
+                else:
+                    del index[key]
+        return len(doomed)
+
     def view(self, start: int, stop: int) -> "RelationView":
         """A read-only view of insertions ``start:stop`` (log order).
 
@@ -406,6 +439,18 @@ class Database:
             if rel_name == name and (arity is None or rel_arity == arity):
                 result |= rel.tuples
         return result
+
+    def remove_fact(self, predicate: str, args: Sequence) -> bool:
+        """Remove one fact; returns True if it was present.
+
+        Plain Python values are wrapped exactly like :meth:`add_fact`,
+        so ``remove_fact("e", (1, 2))`` undoes ``add_fact("e", (1, 2))``.
+        """
+        wrapped = tuple(a if isinstance(a, Term) else Constant(a) for a in args)
+        rel = self.relations.get((predicate, len(wrapped)))
+        if rel is None:
+            return False
+        return rel.remove_facts((wrapped,)) == 1
 
     def has_fact(self, predicate: str, args: Sequence) -> bool:
         wrapped = tuple(a if isinstance(a, Term) else Constant(a) for a in args)

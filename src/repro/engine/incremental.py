@@ -1,0 +1,907 @@
+"""Incremental view maintenance: semi-naive deltas and DRed deletion.
+
+The paper's transformations make a *single* fixpoint cheap; a system
+serving queries against churning base data must also keep the
+materialized IDB correct **without** re-running that fixpoint per
+update.  :class:`IncrementalSession` owns a materialized
+:class:`~repro.engine.database.Database` for one program and maintains
+every IDB relation under EDB churn:
+
+* **Insertion** reuses the compiled-plan semi-naive machinery: the new
+  EDB facts seed the delta log of their relations, and the affected
+  strongly connected components (in the same topological order the
+  :class:`~repro.engine.scheduler.SCCScheduler` uses) continue their
+  fixpoints *forward* from the current state.  The per-round delta
+  decomposition generalizes the evaluator's: delta-capable positions
+  include changed **external** relations (EDB and lower strata) in the
+  first round, then only the component's own relations — each new
+  instantiation is enumerated exactly once, at its last new body fact.
+* **Deletion** is DRed (delete–rederive, Gupta/Mumick/Subrahmanian):
+  first *over-delete* — everything with at least one derivation
+  through a deleted fact, propagated component by component through
+  the dependency graph against the pre-deletion database — then prune,
+  then *re-derive*: facts with an alternate derivation among the
+  survivors are restored by one filtered pass per component followed
+  by the same forward delta fixpoint, seeded with the restorations.
+  Facts still present in the EDB (or asserted as ground program rules)
+  are never over-deleted — they carry their own support.
+
+Both paths converge to exactly the least model of the program on the
+final EDB — the same fact set ``seminaive_eval`` derives from scratch
+— because the least fixpoint is unique; the randomized insert/delete
+scripts in ``tests/test_fuzz.py`` hold this as a differential
+property across planners, backends, and job counts.
+
+**Provenance mode** (``record_provenance=True``) additionally keeps
+one canonical derivation per derived fact, bit-identical to a
+from-scratch :func:`~repro.engine.provenance.provenance_eval` on the
+final EDB.  Canonical trees are round-structure-dependent (the
+recorder keeps the per-first-round minimum), so fact-level deltas
+cannot splice them; instead maintenance recomputes at **component
+granularity** — a component's output (facts *and* recorded
+derivations) is a deterministic function of its input facts alone, so
+recomputing exactly the affected components reproduces the
+from-scratch trees.  Deletion uses a *support-index fast path*: the
+recorded derivations double as a reverse dependency index, and a
+component none of whose facts transitively depend (through recorded
+derivations) on a deleted fact provably keeps both its facts and its
+trees, so it is skipped entirely.  See ``docs/incremental.md`` for
+the worked example and the induction behind that skip.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_literal, parse_program, parse_query
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term
+from repro.engine.database import Database, FactTuple, Relation
+from repro.engine.joins import (
+    candidates,
+    instantiate_head,
+    join_rule,
+    relation_from_tuples,
+)
+from repro.engine.unify import match, match_term
+from repro.engine.plan import PlanCache
+from repro.engine.provenance import (
+    DerivationRecorder,
+    DerivationTree,
+    EdbKeyView,
+    ProvenanceResult,
+    provenance_eval,
+)
+from repro.engine.scheduler import ComponentRun, ComponentTask, SCCScheduler
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import EvalStats, NonTerminationError
+
+Signature = Tuple[str, int]
+FactKey = Tuple[str, int, FactTuple]
+
+#: Accepted update shapes: a mapping ``{predicate: rows}``, an iterable
+#: of ``(predicate, args)`` pairs, or Datalog text of ground facts.
+Updates = Union[str, Mapping[str, Iterable[Sequence]], Iterable[Tuple[str, Sequence]]]
+
+
+def _wrap(args: Sequence) -> FactTuple:
+    """Wrap plain Python values as ground constants (like ``add_fact``)."""
+    wrapped = tuple(a if isinstance(a, Term) else Constant(a) for a in args)
+    for term in wrapped:
+        if not term.is_ground():
+            raise ValueError(f"update argument {term} is not ground")
+    return wrapped
+
+
+class IncrementalSession:
+    """A materialized database maintained under EDB churn.
+
+    ::
+
+        session = IncrementalSession(program, edb)
+        session.insert([("e", (7, 8)), ("e", (8, 9))])
+        session.delete("e(1, 2).")
+        session.query("t(0, Y)")
+
+    ``insert``/``delete`` accept a ``{predicate: rows}`` mapping, an
+    iterable of ``(predicate, args)`` pairs, or Datalog text of ground
+    facts; each returns the :class:`~repro.engine.stats.EvalStats` of
+    that maintenance pass (``incr_rounds`` delta rounds, ``rederived``
+    DRed restorations, ``facts`` added).  ``session.stats`` accumulates
+    across the initial evaluation and every pass.
+
+    ``planner``/``jobs``/``backend``/``use_plans`` mirror
+    :func:`~repro.engine.seminaive.seminaive_eval`; the parallel knobs
+    apply to the initial materialization (maintenance passes are
+    sequential — affected components are usually few), and the planner
+    and plan/interpreter choice govern every maintenance join.  For
+    any knob combination the maintained database is bit-identical to a
+    from-scratch evaluation on the final EDB.
+
+    ``record_provenance=True`` keeps one canonical derivation per
+    derived fact (see :meth:`explain`), maintained to stay identical
+    to a from-scratch provenance evaluation; it trades the fact-level
+    delta paths for component-granular recomputation with a
+    support-index fast path on deletion (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        edb: Optional[Database] = None,
+        *,
+        planner: Optional[str] = None,
+        jobs: Optional[int] = None,
+        backend=None,
+        use_plans: bool = True,
+        record_provenance: bool = False,
+        max_iterations: Optional[int] = None,
+        max_facts: Optional[int] = None,
+    ):
+        self.program = program
+        self.use_plans = use_plans
+        self.record_provenance = record_provenance
+        self.max_iterations = max_iterations
+        self.max_facts = max_facts
+        self._edb = edb.copy() if edb is not None else Database()
+        self._edb_keys = EdbKeyView(self._edb)
+        self._cache: Optional[PlanCache] = None
+
+        # Component structure (shared with the evaluators): tasks in
+        # topological evaluation order, and the owning task per IDB sig.
+        structure = SCCScheduler(
+            program, mode="seminaive", use_plans=use_plans,
+            planner=planner, jobs=1, backend="serial",
+        )
+        self.planner = structure.planner
+        if use_plans:
+            self._cache = PlanCache(self.planner or "greedy")
+        self._tasks: List[ComponentTask] = structure.tasks
+        self._sig_task: Dict[Signature, ComponentTask] = {
+            sig: task for task in self._tasks for sig in task.sigs
+        }
+        #: Ground program rules are permanent support: their facts are
+        #: present regardless of the EDB and are never over-deleted.
+        self._program_fact_keys: Dict[FactKey, Rule] = {
+            (r.head.predicate, r.head.arity, r.head.args): r
+            for r in program.rules
+            if r.is_fact()
+        }
+
+        self.stats = EvalStats()
+        if record_provenance:
+            result = provenance_eval(
+                self.program, self._edb,
+                max_iterations=max_iterations, max_facts=max_facts,
+                use_plans=use_plans, planner=planner, jobs=jobs, backend=backend,
+            )
+            self.database = result.database
+            self._edb_keys = result.edb_keys
+            self._derivations: Optional[
+                Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]]
+            ] = result.derivations
+            self.stats.absorb(result.stats)
+            # Support indexes over the recorded derivations: keys per
+            # head sig, and the reverse (fact -> recorded dependents).
+            self._deriv_by_sig: Dict[Signature, Set[FactKey]] = {}
+            self._rdeps: Dict[FactKey, Set[FactKey]] = {}
+            for key, (_, body_keys) in self._derivations.items():
+                self._deriv_by_sig.setdefault((key[0], key[1]), set()).add(key)
+                for bk in body_keys:
+                    self._rdeps.setdefault(bk, set()).add(key)
+        else:
+            self.database, init_stats = seminaive_eval(
+                self.program, self._edb,
+                max_iterations=max_iterations, max_facts=max_facts,
+                use_plans=use_plans, planner=planner, jobs=jobs, backend=backend,
+            )
+            self._derivations = None
+            self.stats.absorb(init_stats)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def edb(self) -> Database:
+        """The maintained base facts (mutate only through the session)."""
+        return self._edb
+
+    def query(self, query: Union[str, Literal]) -> Set[Tuple]:
+        """Bindings of the goal's variables against the materialized IDB.
+
+        Answers come straight from the maintained database — no
+        fixpoint runs.  Returns unwrapped Python values like
+        :meth:`repro.session.DeductiveDatabase.ask`.
+        """
+        goal = parse_query(query) if isinstance(query, str) else query
+        return {
+            tuple(t.value if isinstance(t, Constant) else t for t in row)
+            for row in self.database.query(goal)
+        }
+
+    def holds(self, query: Union[str, Literal]) -> bool:
+        """True when a ground query holds in the materialized database."""
+        return bool(self.query(query))
+
+    def explain(self, fact: Union[str, Literal]) -> DerivationTree:
+        """A derivation tree for a ground fact (provenance mode only)."""
+        if self._derivations is None:
+            raise RuntimeError(
+                "explain() needs IncrementalSession(record_provenance=True)"
+            )
+        goal = parse_literal(fact) if isinstance(fact, str) else fact
+        return ProvenanceResult(
+            self.database, self.stats, self._derivations, self._edb_keys
+        ).explain(goal)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _normalize(self, facts: Updates) -> Dict[Signature, List[FactTuple]]:
+        if isinstance(facts, str):
+            parsed = parse_program(facts)
+            for rule in parsed.rules:
+                if not rule.is_fact():
+                    raise ValueError(f"updates must be ground facts, got {rule}")
+            pairs: Iterable[Tuple[str, Sequence]] = [
+                (r.head.predicate, r.head.args) for r in parsed.rules
+            ]
+        elif isinstance(facts, Mapping):
+            pairs = [
+                (pred, row) for pred, rows in facts.items() for row in rows
+            ]
+        else:
+            pairs = list(facts)
+        out: Dict[Signature, List[FactTuple]] = {}
+        for pred, args in pairs:
+            wrapped = _wrap(args)
+            out.setdefault((pred, len(wrapped)), []).append(wrapped)
+        return out
+
+    def insert(self, facts: Updates) -> EvalStats:
+        """Add EDB facts; maintain every affected IDB relation forward.
+
+        Returns this pass's stats: ``facts`` counts everything the pass
+        added to the materialized database (new EDB facts and the
+        consequences derived from them), ``incr_rounds`` the delta
+        fixpoint rounds it took.  Facts already present are no-ops.
+        """
+        updates = self._normalize(facts)
+        start = time.perf_counter()
+        pass_stats = EvalStats()
+        changed_start: Dict[Signature, int] = {}
+        base_new_sigs: Set[Signature] = set()
+        for sig, rows in updates.items():
+            base = self._edb.relation(*sig)
+            rel = self.database.relation(*sig)
+            before = len(rel)
+            for fact in rows:
+                if base.add(fact) and self._derivations is not None:
+                    # The fact is an EDB leaf now; a stale derivation
+                    # entry would diverge from a from-scratch record.
+                    base_new_sigs.add(sig)
+                    self._drop_derivation((sig[0], sig[1], fact))
+                if rel.add(fact):
+                    pass_stats.record_fact(sig)
+            if len(rel) > before:
+                changed_start[sig] = before
+        if self._derivations is None:
+            self._propagate_insertions(changed_start, pass_stats)
+        else:
+            self._recompute_affected(
+                set(changed_start), base_new_sigs, pass_stats
+            )
+        pass_stats.seconds = time.perf_counter() - start
+        self.stats.absorb(pass_stats)
+        return pass_stats
+
+    def delete(self, facts: Updates) -> EvalStats:
+        """Retract EDB facts; maintain the IDB by delete–rederive.
+
+        Facts not currently in the EDB are ignored.  Returns this
+        pass's stats: ``rederived`` counts over-deleted facts restored
+        because an alternate derivation survived; ``facts`` counts the
+        restorations added back during re-derivation.
+        """
+        updates = self._normalize(facts)
+        start = time.perf_counter()
+        pass_stats = EvalStats()
+        removed: Dict[Signature, List[FactTuple]] = {}
+        for sig, rows in updates.items():
+            base = self._edb.get(*sig)
+            for fact in rows:
+                if base is not None and base.remove_facts((fact,)):
+                    removed.setdefault(sig, []).append(fact)
+        if removed:
+            if self._derivations is None:
+                self._dred(removed, pass_stats)
+            else:
+                self._recompute_after_delete(removed, pass_stats)
+        pass_stats.seconds = time.perf_counter() - start
+        self.stats.absorb(pass_stats)
+        return pass_stats
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _is_protected(self, sig: Signature, fact: FactTuple) -> bool:
+        """Facts with base support are never deleted: EDB or program fact."""
+        if (sig[0], sig[1], fact) in self._program_fact_keys:
+            return True
+        rel = self._edb.get(*sig)
+        return rel is not None and fact in rel.tuples
+
+    def _run_rule(
+        self,
+        rule: Rule,
+        roles: Tuple[Tuple[int, str], ...],
+        overrides: Dict[int, object],
+        emitted: List[FactTuple],
+        stats: EvalStats,
+    ) -> None:
+        """One rule execution appending head tuples (plans or interpreter)."""
+        if self._cache is not None:
+            plan = self._cache.plan(
+                rule, roles, stats, db=self.database, overrides=overrides
+            )
+            before = len(emitted)
+            plan.execute(self.database, overrides or None, emitted.append, stats)
+            if plan.estimated_rows is not None:
+                stats.record_estimate(plan.estimated_rows, len(emitted) - before)
+        else:
+            join_rule(
+                self.database,
+                rule,
+                lambda bindings: emitted.append(instantiate_head(rule, bindings)),
+                dict(overrides) if overrides else None,
+            )
+
+    def _guard_rounds(self, task: ComponentTask, rounds: int) -> None:
+        if self.max_iterations is not None and rounds > self.max_iterations:
+            raise NonTerminationError(
+                f"incremental maintenance of component {sorted(task.sigs)} "
+                f"exceeded {self.max_iterations} rounds",
+                rounds,
+                self.database.total_facts(),
+            )
+
+    def _component_delta_fixpoint(
+        self,
+        task: ComponentTask,
+        external: Dict[Signature, int],
+        own_start: Dict[Signature, int],
+        stats: EvalStats,
+    ) -> None:
+        """Continue ``task``'s semi-naive fixpoint from the current state.
+
+        ``external`` maps changed non-component signatures to the log
+        offset where their new facts begin (consumed in the first round
+        only — external relations do not change while the component
+        runs); ``own_start`` maps component signatures to the offset
+        where *their* maintenance delta begins (facts appended since
+        the last fixpoint — inserted EDB facts or DRed restorations).
+
+        Per rule and per delta-capable body position (one whose
+        relation changed), one variant runs with the delta window at
+        that position and the **full** relations everywhere else.
+        Unlike the evaluator's old/delta split, an instantiation with
+        several new body facts is enumerated once per such position —
+        but the derived *fact set* is identical (relations are sets),
+        and the full relations keep their persistent hash indexes,
+        where an ``old`` window would re-index almost the entire
+        relation every round to dedupe a usually-tiny delta.
+        """
+        db = self.database
+        scc_set = task.sigs
+        rels = {sig: db.relation(*sig) for sig in scc_set}
+        delta_start = {
+            sig: own_start.get(sig, len(rels[sig])) for sig in scc_set
+        }
+        has_internal = any(
+            lit.signature in scc_set
+            for rule in task.rules
+            for lit in rule.body
+        )
+        ext_views = {}
+        for sig, offset in external.items():
+            rel = db.relation(*sig)
+            ext_views[sig] = rel.view(offset, len(rel))
+
+        first_round = True
+        rounds = 0
+        while True:
+            rounds += 1
+            self._guard_rounds(task, rounds)
+            stats.incr_rounds += 1
+            stop = {sig: len(rels[sig]) for sig in scc_set}
+            delta_views = {
+                sig: rels[sig].view(delta_start[sig], stop[sig])
+                for sig in scc_set
+            }
+            new: Dict[Signature, Set[FactTuple]] = {sig: set() for sig in scc_set}
+
+            for rule in task.rules:
+                head_sig = rule.head.signature
+                positions: List[Tuple[int, Signature, bool]] = []
+                for i, lit in enumerate(rule.body):
+                    s = lit.signature
+                    if s in scc_set:
+                        positions.append((i, s, True))
+                    elif first_round and s in ext_views:
+                        positions.append((i, s, False))
+                if not first_round:
+                    positions = [p for p in positions if p[2]]
+                if not positions:
+                    continue
+                emitted: List[FactTuple] = []
+                for pos_j, sig_j, internal_j in positions:
+                    delta = (
+                        delta_views[sig_j] if internal_j else ext_views[sig_j]
+                    )
+                    if len(delta) == 0:
+                        continue
+                    self._run_rule(
+                        rule, ((pos_j, "delta"),), {pos_j: delta},
+                        emitted, stats,
+                    )
+                if emitted:
+                    stats.inferences += len(emitted)
+                    new[head_sig] |= set(emitted) - rels[head_sig].tuples
+
+            for sig in scc_set:
+                delta_start[sig] = stop[sig]
+            changed = False
+            for sig in scc_set:
+                fresh = new[sig]
+                if fresh:
+                    changed = True
+                    rel = rels[sig]
+                    for fact in fresh:
+                        if rel.add(fact):
+                            stats.record_fact(sig)
+            first_round = False
+            if not changed or not has_internal:
+                break
+
+    # ------------------------------------------------------------------
+    # Insertion propagation (fact-level deltas)
+    # ------------------------------------------------------------------
+
+    def _propagate_insertions(
+        self, changed_start: Dict[Signature, int], stats: EvalStats
+    ) -> None:
+        """Drive affected components forward from the inserted deltas.
+
+        ``changed_start`` maps every changed signature to the log
+        offset where its new facts begin; components are visited in
+        topological order, and a component that derives nothing new
+        adds no signatures, so propagation dies out as early as the
+        data allows.
+        """
+        for task in self._tasks:
+            own = {
+                sig: changed_start[sig]
+                for sig in task.sigs
+                if sig in changed_start
+            }
+            external: Dict[Signature, int] = {}
+            for rule in task.rules:
+                for lit in rule.body:
+                    s = lit.signature
+                    if s not in task.sigs and s in changed_start:
+                        external[s] = changed_start[s]
+            if not own and not external:
+                continue
+            pre = {sig: len(self.database.relation(*sig)) for sig in task.sigs}
+            self._component_delta_fixpoint(task, external, own, stats)
+            for sig in task.sigs:
+                if len(self.database.relation(*sig)) > pre[sig]:
+                    changed_start.setdefault(sig, own.get(sig, pre[sig]))
+
+    # ------------------------------------------------------------------
+    # DRed deletion (fact-level deltas)
+    # ------------------------------------------------------------------
+
+    def _dred(
+        self, removed: Dict[Signature, List[FactTuple]], stats: EvalStats
+    ) -> None:
+        """Delete–rederive: over-delete, prune, then restore survivors."""
+        deleted = self._overdelete(removed, stats)
+        if not deleted:
+            return
+        for sig, doomed in deleted.items():
+            rel = self.database.get(*sig)
+            if rel is not None:
+                rel.remove_facts(doomed)
+        self._rederive(deleted, stats)
+
+    def _overdelete(
+        self, removed: Dict[Signature, List[FactTuple]], stats: EvalStats
+    ) -> Dict[Signature, Set[FactTuple]]:
+        """Everything with a derivation through a deleted fact.
+
+        Evaluated against the *pre-deletion* database (nothing is
+        pruned yet), component by component in topological order; one
+        deletion-delta variant per body occurrence of a deleted
+        signature finds every rule instance that consumed at least one
+        deleted fact — its head joins the over-estimate unless it has
+        base support (still in the EDB, or a ground program rule).
+        """
+        deleted: Dict[Signature, Set[FactTuple]] = {}
+        for sig, facts in removed.items():
+            rel = self.database.get(*sig)
+            for fact in facts:
+                if rel is None or fact not in rel.tuples:
+                    continue
+                if self._is_protected(sig, fact):
+                    continue
+                deleted.setdefault(sig, set()).add(fact)
+        for task in self._tasks:
+            read = {
+                lit.signature for rule in task.rules for lit in rule.body
+            }
+            frontier = {
+                s: list(deleted[s]) for s in read if deleted.get(s)
+            }
+            own_total = sum(
+                len(self.database.relation(*sig)) for sig in task.sigs
+            )
+            rounds = 0
+            while frontier:
+                if self._overdelete_saturated(task, deleted, own_total):
+                    break
+                rounds += 1
+                self._guard_rounds(task, rounds)
+                stats.incr_rounds += 1
+                delta_rels = {
+                    s: relation_from_tuples(s[0], s[1], facts)
+                    for s, facts in frontier.items()
+                }
+                fresh: Dict[Signature, List[FactTuple]] = {}
+                for rule in task.rules:
+                    head_sig = rule.head.signature
+                    head_rel = self.database.get(*head_sig)
+                    if head_rel is None:
+                        continue
+                    doomed_here = deleted.setdefault(head_sig, set())
+                    for i, lit in enumerate(rule.body):
+                        s = lit.signature
+                        if s not in delta_rels:
+                            continue
+                        emitted: List[FactTuple] = []
+                        self._run_rule(
+                            rule, ((i, "delta"),), {i: delta_rels[s]},
+                            emitted, stats,
+                        )
+                        stats.inferences += len(emitted)
+                        for fact in emitted:
+                            if (
+                                fact in head_rel.tuples
+                                and fact not in doomed_here
+                                and not self._is_protected(head_sig, fact)
+                            ):
+                                doomed_here.add(fact)
+                                fresh.setdefault(head_sig, []).append(fact)
+                frontier = {
+                    s: facts for s, facts in fresh.items() if s in read
+                }
+        return {sig: facts for sig, facts in deleted.items() if facts}
+
+    #: When more than this fraction of a component is over-deleted,
+    #: stop propagating within it (mark everything deletable) and let
+    #: re-derivation fall back to a component recompute — DRed's
+    #: worst case then costs one affected-component fixpoint instead
+    #: of cone-sized delta bookkeeping on top of one.
+    SATURATION_RATIO = 0.5
+
+    def _overdelete_saturated(
+        self,
+        task: ComponentTask,
+        deleted: Dict[Signature, Set[FactTuple]],
+        own_total: int,
+    ) -> bool:
+        """Saturate a mostly-deleted component's over-estimate.
+
+        Returns True — and maximizes ``deleted`` for the component's
+        signatures (every fact without base support) — once the
+        over-estimate passes :data:`SATURATION_RATIO` of the
+        component's facts.  The estimate stays a superset of the true
+        deletions, so downstream propagation and re-derivation remain
+        correct; it just stops being *tracked* fact by fact where a
+        recompute is cheaper anyway.
+        """
+        own_deleted = sum(len(deleted.get(sig, ())) for sig in task.sigs)
+        if own_deleted <= self.SATURATION_RATIO * own_total:
+            return False
+        for sig in task.sigs:
+            rel = self.database.get(*sig)
+            if rel is None:
+                continue
+            doomed = deleted.setdefault(sig, set())
+            for fact in rel.tuples:
+                if fact not in doomed and not self._is_protected(sig, fact):
+                    doomed.add(fact)
+        return True
+
+    def _rederive(
+        self, deleted: Dict[Signature, Set[FactTuple]], stats: EvalStats
+    ) -> None:
+        """Restore over-deleted facts with surviving alternate derivations.
+
+        Topological again: one filtered pass per affected component —
+        each rule runs against the pruned database and only heads from
+        the over-estimate are re-admitted — then the forward delta
+        fixpoint propagates the restorations (a restored fact may
+        support further restorations, in this component and below the
+        next ones).  Facts restored downstream need no delta of their
+        own beyond this: derivations newly enabled by a restoration
+        can only produce facts that were already present or also
+        over-deleted, both handled here.
+        """
+        for task in self._tasks:
+            own_deleted = {
+                sig: deleted[sig]
+                for sig in task.sigs
+                if deleted.get(sig)
+            }
+            if not own_deleted:
+                continue
+            pre = {
+                sig: len(self.database.relation(*sig)) for sig in own_deleted
+            }
+            candidates_count = sum(len(d) for d in own_deleted.values())
+            survivors = sum(
+                len(self.database.relation(*sig)) for sig in task.sigs
+            )
+            if candidates_count > survivors:
+                # The majority of the component was over-deleted (the
+                # saturation path, or simply heavy churn): a fixpoint
+                # from base over the already-maintained lower strata is
+                # cheaper than probing every candidate individually.
+                self._recompute_component_facts(task, stats)
+                for sig, before in pre.items():
+                    stats.rederived += max(
+                        0, len(self.database.relation(*sig)) - before
+                    )
+                continue
+            stats.incr_rounds += 1
+            for sig, doomed in own_deleted.items():
+                head_rules = [
+                    r for r in task.rules if r.head.signature == sig
+                ]
+                rel = self.database.relation(*sig)
+                for fact in doomed:
+                    for rule in head_rules:
+                        if self._has_surviving_derivation(rule, fact, stats):
+                            if rel.add(fact):
+                                stats.record_fact(sig)
+                            break
+            self._component_delta_fixpoint(task, {}, dict(pre), stats)
+            for sig, before in pre.items():
+                stats.rederived += len(self.database.relation(*sig)) - before
+
+    def _has_surviving_derivation(
+        self, rule: Rule, fact: FactTuple, stats: EvalStats
+    ) -> bool:
+        """True when ``rule`` derives ``fact`` from the pruned database.
+
+        The candidate's head binds the rule's head variables, so this
+        is a *bounded* existence probe (early exit on the first
+        witness), not a full rule evaluation — the standard DRed
+        re-derivation step, one candidate at a time.
+        """
+        bindings = match(rule.head, fact, {})
+        if bindings is None:
+            return False
+        body = rule.body
+
+        def satisfiable(index: int, env) -> bool:
+            if index == len(body):
+                return True
+            literal = body[index]
+            stats.probes += 1
+            for cand in candidates(self.database, literal, env, None):
+                nested = dict(env)
+                if all(
+                    match_term(p, v, nested)
+                    for p, v in zip(literal.args, cand)
+                ) and satisfiable(index + 1, nested):
+                    return True
+            return False
+
+        if satisfiable(0, bindings):
+            stats.inferences += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Component recomputation (DRed fallback and provenance mode)
+    # ------------------------------------------------------------------
+
+    def _reset_component_to_base(self, task: ComponentTask) -> None:
+        """Reset the component's relations to EDB + program-fact content."""
+        db = self.database
+        for sig in task.sigs:
+            rel = Relation(*sig)
+            base = self._edb.get(*sig)
+            if base is not None:
+                for fact in base.view(0, len(base)):
+                    rel.add(fact)
+            db.relations[sig] = rel
+        for key, rule in self._program_fact_keys.items():
+            sig = (key[0], key[1])
+            if sig in task.sigs:
+                db.relations[sig].add(key[2])
+
+    def _recompute_component_facts(
+        self, task: ComponentTask, stats: EvalStats, recorder=None
+    ) -> None:
+        """From-base fixpoint of one component over the current lower strata."""
+        self._reset_component_to_base(task)
+        run = ComponentRun(
+            task,
+            mode="seminaive",
+            use_plans=self.use_plans,
+            planner=self.planner,
+            max_iterations=self.max_iterations,
+            max_facts=self.max_facts,
+            recorder=recorder,
+            cache=self._cache,
+        )
+        local = EvalStats()
+        run.execute(self.database, local)
+        # Maintenance rounds are incremental bookkeeping, not a full
+        # evaluation's iteration count.
+        local.incr_rounds = local.iterations
+        local.iterations = 0
+        stats.absorb(local)
+
+    # ------------------------------------------------------------------
+    # Provenance mode: component-granular recomputation
+    # ------------------------------------------------------------------
+
+    def _drop_derivation(self, key: FactKey) -> None:
+        entry = self._derivations.pop(key, None)
+        if entry is None:
+            return
+        keys = self._deriv_by_sig.get((key[0], key[1]))
+        if keys is not None:
+            keys.discard(key)
+        for bk in entry[1]:
+            deps = self._rdeps.get(bk)
+            if deps is not None:
+                deps.discard(key)
+                if not deps:
+                    del self._rdeps[bk]
+
+    def _recompute_component(
+        self, task: ComponentTask, stats: EvalStats
+    ) -> Set[Signature]:
+        """From-scratch fixpoint of one component; returns changed sigs.
+
+        The component's relations reset to their base content (EDB plus
+        ground program rules) and the standard
+        :class:`~repro.engine.scheduler.ComponentRun` re-runs with a
+        fresh recorder.  Because the lower strata are already correct
+        (topological processing) and a component's rounds depend only
+        on its input *facts*, the recomputed facts and canonical
+        derivations are exactly what a from-scratch evaluation on the
+        final EDB would produce for these signatures.
+        """
+        db = self.database
+        old_facts = {sig: set(db.relation(*sig).tuples) for sig in task.sigs}
+        for sig in task.sigs:
+            for key in list(self._deriv_by_sig.get(sig, ())):
+                self._drop_derivation(key)
+
+        component_derivs: Dict[FactKey, Tuple[Optional[Rule], Tuple[FactKey, ...]]] = {}
+        recorder = DerivationRecorder(component_derivs, self._edb_keys)
+        self._recompute_component_facts(task, stats, recorder=recorder)
+
+        for key, rule in self._program_fact_keys.items():
+            sig = (key[0], key[1])
+            if sig in task.sigs and key not in self._edb_keys:
+                component_derivs.setdefault(key, (rule, ()))
+        for key, entry in component_derivs.items():
+            self._derivations[key] = entry
+            self._deriv_by_sig.setdefault((key[0], key[1]), set()).add(key)
+            for bk in entry[1]:
+                self._rdeps.setdefault(bk, set()).add(key)
+        return {
+            sig
+            for sig in task.sigs
+            if set(db.relation(*sig).tuples) != old_facts[sig]
+        }
+
+    def _recompute_affected(
+        self,
+        fact_changed: Set[Signature],
+        base_changed: Set[Signature],
+        stats: EvalStats,
+    ) -> None:
+        """Insertion maintenance under provenance.
+
+        Recompute a component when it reads a signature whose *facts*
+        changed, or when its own signatures changed — including
+        base-only changes (a fact newly asserted as EDB was perhaps
+        already derived: the fact set is unchanged but its canonical
+        tree becomes an EDB leaf, which only its own component's
+        recompute can reflect).  Propagation follows fact changes only:
+        downstream rounds depend on input facts, never on how (or when)
+        the inputs were derived.
+        """
+        fact_changed = set(fact_changed)
+        for task in self._tasks:
+            reads_changed = any(
+                lit.signature in fact_changed and lit.signature not in task.sigs
+                for rule in task.rules
+                for lit in rule.body
+            )
+            own = bool(task.sigs & (fact_changed | base_changed))
+            if not (reads_changed or own):
+                continue
+            fact_changed |= self._recompute_component(task, stats)
+
+    def _recompute_after_delete(
+        self, removed: Dict[Signature, List[FactTuple]], stats: EvalStats
+    ) -> None:
+        """Deletion maintenance under provenance: the support-index path.
+
+        The recorded derivations form a reverse dependency index; the
+        transitive dependents of the deleted facts over-approximate
+        everything whose fact *or* tree can change (a fact outside the
+        closure has a recorded derivation built entirely from surviving
+        facts whose first-derivation rounds are unchanged, so — by
+        induction over the acyclic derivation record — both it and its
+        canonical tree survive verbatim).  Only components owning a
+        fact in the closure recompute; pure-EDB members of the closure
+        are simply removed.
+        """
+        seeds: List[FactKey] = []
+        for sig, facts in removed.items():
+            for fact in facts:
+                key = (sig[0], sig[1], fact)
+                if key in self._program_fact_keys:
+                    # Still present through the program rule; its tree
+                    # becomes the (rule, ()) leaf a from-scratch run
+                    # records for non-EDB program facts.
+                    if key not in self._edb_keys:
+                        entry = (self._program_fact_keys[key], ())
+                        self._derivations.setdefault(key, entry)
+                        self._deriv_by_sig.setdefault(sig, set()).add(key)
+                    continue
+                seeds.append(key)
+        closure: Set[FactKey] = set()
+        frontier = list(seeds)
+        while frontier:
+            key = frontier.pop()
+            if key in closure:
+                continue
+            closure.add(key)
+            frontier.extend(self._rdeps.get(key, ()))
+        if not closure:
+            return
+        affected = {(key[0], key[1]) for key in closure}
+        for key in closure:
+            sig = (key[0], key[1])
+            if sig not in self._sig_task:
+                rel = self.database.get(*sig)
+                if rel is not None and not self._is_protected(sig, key[2]):
+                    rel.remove_facts((key[2],))
+                self._drop_derivation(key)
+        for task in self._tasks:
+            if task.sigs & affected:
+                self._recompute_component(task, stats)
+
+    def __repr__(self) -> str:
+        mode = "provenance" if self.record_provenance else "facts"
+        return (
+            f"IncrementalSession({self.database.total_facts()} facts, "
+            f"{len(self._tasks)} components, {mode} mode)"
+        )

@@ -66,6 +66,13 @@ class EvalStats:
     ``provenance_plan_ratio`` (fraction of inferences that ran through
     compiled plans during a provenance-recording evaluation: 1.0 on
     the plan path, 0.0 on the legacy interpreter path).
+
+    Incremental view maintenance (:mod:`repro.engine.incremental`)
+    adds ``incr_rounds`` (delta fixpoint rounds run by maintenance
+    passes — insertion propagation, DRed over-deletion, and
+    re-derivation all count their rounds here, never in
+    ``iterations``) and ``rederived`` (facts DRed over-deleted and
+    then restored because an alternate derivation survived).
     """
 
     facts: int = 0
@@ -79,6 +86,8 @@ class EvalStats:
     scc_count: int = 0
     scc_parallel_batches: int = 0
     provenance_plan_ratio: float = 0.0
+    incr_rounds: int = 0
+    rederived: int = 0
     estimated_vs_actual: List[Tuple[float, int]] = field(default_factory=list)
     per_predicate: Dict[Tuple[str, int], int] = field(default_factory=dict)
 
@@ -147,6 +156,8 @@ class EvalStats:
         self.replans += other.replans
         self.scc_count += other.scc_count
         self.scc_parallel_batches += other.scc_parallel_batches
+        self.incr_rounds += other.incr_rounds
+        self.rederived += other.rederived
         room = MAX_ESTIMATE_SAMPLES - len(self.estimated_vs_actual)
         if room > 0:
             self.estimated_vs_actual.extend(other.estimated_vs_actual[:room])

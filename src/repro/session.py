@@ -30,6 +30,7 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Term, Variable
 from repro.engine.database import Database
+from repro.engine.incremental import IncrementalSession
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.stats import EvalStats
 
@@ -224,6 +225,43 @@ class DeductiveDatabase:
         return self.ask(query, explain=True)
 
     # ------------------------------------------------------------------
+    # Materialized serving
+    # ------------------------------------------------------------------
+
+    def materialize(self, **kwargs) -> IncrementalSession:
+        """An incrementally maintained materialization of the full program.
+
+        Where :meth:`ask` optimizes per query form (Magic Sets /
+        factoring) and evaluates on demand, the returned
+        :class:`~repro.engine.incremental.IncrementalSession` evaluates
+        the *whole* program once and then maintains every IDB relation
+        under ``insert``/``delete`` — the serving configuration: point
+        queries read the materialized database, updates pay only the
+        delta.  ``kwargs`` pass through to ``IncrementalSession``
+        (``planner=``, ``record_provenance=``, ...), defaulting to this
+        database's engine knobs.
+
+        The session snapshots the rules and facts loaded so far;
+        afterwards, update *it*, not this object.  Predicates holding
+        both stored facts and rules are bridged exactly like
+        :meth:`ask` (the stored relation becomes ``pred__base``); the
+        session translates updates of such predicates transparently.
+        """
+        kwargs.setdefault("planner", self._planner)
+        kwargs.setdefault("jobs", self._jobs)
+        kwargs.setdefault("backend", self._backend)
+        kwargs.setdefault("use_plans", self._use_plans)
+        program, edb_view = self._effective()
+        bridged = {
+            sig
+            for sig in self.program.idb_signatures
+            if self._edb.get(*sig)
+        }
+        if not bridged:
+            return IncrementalSession(program, edb_view, **kwargs)
+        return _BridgedIncrementalSession(bridged, program, edb_view, **kwargs)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -257,3 +295,27 @@ class DeductiveDatabase:
         for rule in plan.best_program():
             lines.append(f"  {rule}")
         return "\n".join(lines)
+
+
+class _BridgedIncrementalSession(IncrementalSession):
+    """An incremental session over a bridged mixed-predicate program.
+
+    :meth:`DeductiveDatabase.materialize` splits predicates that carry
+    both stored facts and rules: the stored relation becomes
+    ``pred__base`` with an exit rule ``pred(V̄) :- pred__base(V̄)``.
+    Updates arriving under the user-facing name are renamed to the base
+    relation here, so callers never see the bridge.
+    """
+
+    def __init__(self, bridged, *args, **kwargs):
+        self._bridged = frozenset(bridged)
+        super().__init__(*args, **kwargs)
+
+    def _normalize(self, facts):
+        normalized = super()._normalize(facts)
+        out = {}
+        for (name, arity), rows in normalized.items():
+            if (name, arity) in self._bridged:
+                name = f"{name}__base"
+            out.setdefault((name, arity), []).extend(rows)
+        return out

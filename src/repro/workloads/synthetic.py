@@ -305,6 +305,85 @@ def coarse_components_edb(width: int = 4, length: int = 50) -> Database:
     return wide_dag_edb(width, length)
 
 
+def churn_program() -> Program:
+    """The incremental-maintenance workload: linear transitive closure.
+
+    ::
+
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, W), t(W, Y).
+
+    Single recursive SCC over one EDB relation — the shape where a
+    point update touches a small cone of the closure but a recompute
+    pays the whole Θ(n²) fixpoint again.
+    """
+    from repro.datalog.parser import parse_program
+
+    return parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, W), t(W, Y).
+        """
+    )
+
+
+def _churn_block_edges(n: int, width: int) -> List[Tuple[int, int]]:
+    """The deterministic initial edge set behind :func:`churn_edb`."""
+    length = max(2, n // max(1, width))
+    edges: List[Tuple[int, int]] = []
+    for b in range(max(1, width)):
+        base = b * length
+        edges.extend((base + i, base + i + 1) for i in range(length - 1))
+        edges.extend((base + i, base + i + 2) for i in range(0, length - 2, 3))
+    return edges
+
+
+def churn_edb(n: int = 120, width: int = 6) -> Database:
+    """A regionalized graph for :func:`churn_program`.
+
+    ``width`` disjoint blocks of ``n // width`` vertices, each a chain
+    with a skip edge every third vertex.  The blocks model the serving
+    scenario incremental maintenance targets: the closure is large (it
+    spans every block) but a point update only touches the cone inside
+    one block, so maintenance work is a fraction ``~1/width`` of a
+    recompute even for the worst-case delete.  The skips matter for
+    deletion: a deleted chain edge usually leaves an alternate path, so
+    DRed's re-derivation phase (not just the over-delete) is genuinely
+    exercised.
+    """
+    db = Database()
+    db.add_facts("e", _churn_block_edges(n, width))
+    return db
+
+
+def churn_script(
+    seed: int, updates: int, n: int = 120, width: int = 6
+) -> List[Tuple[str, str, Tuple[int, int]]]:
+    """A deterministic update script against :func:`churn_edb`.
+
+    Returns ``updates`` operations ``("+"|"-", "e", (a, b))``: deletes
+    pick a live edge (tracking the mutations the script itself makes),
+    inserts pick a random vertex pair within one block, roughly half
+    and half.  The same arguments always yield the same script, so
+    benchmark rows and fuzz failures are reproducible.
+    """
+    rng = random.Random(seed)
+    length = max(2, n // max(1, width))
+    live = set(_churn_block_edges(n, width))
+    ops: List[Tuple[str, str, Tuple[int, int]]] = []
+    for _ in range(max(0, updates)):
+        if live and rng.random() < 0.5:
+            edge = rng.choice(sorted(live))
+            live.discard(edge)
+            ops.append(("-", "e", edge))
+        else:
+            base = rng.randrange(max(1, width)) * length
+            edge = (base + rng.randrange(length), base + rng.randrange(length))
+            live.add(edge)
+            ops.append(("+", "e", edge))
+    return ops
+
+
 def random_edb(
     seed: int,
     n: int = 8,

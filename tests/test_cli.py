@@ -87,6 +87,76 @@ class TestValidate:
         assert "singleton-variable" in capsys.readouterr().out
 
 
+class TestServe:
+    def run_script(self, tmp_path, program_file, facts_file, script, *extra):
+        path = tmp_path / "serve.txt"
+        path.write_text(script)
+        args = ["serve", program_file, "--script", str(path)]
+        if facts_file is not None:
+            args += ["--facts", facts_file]
+        return main(args + list(extra))
+
+    def test_query_insert_delete_cycle(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        script = (
+            "# incremental smoke\n"
+            "? t(1, Y)\n"
+            "+ e(4, 5). e(5, 6).\n"
+            "? t(1, Y)\n"
+            "- e(2, 3).\n"
+            "? t(1, Y)\n"
+            "stats\n"
+            "quit\n"
+        )
+        assert self.run_script(tmp_path, program_file, facts_file, script) == 0
+        out = capsys.readouterr().out
+        blocks = out.split("\n")
+        # After the inserts the closure reaches 6; after deleting
+        # e(2, 3) only t(1, 2) survives.
+        assert "6" in out
+        assert blocks.count("2") >= 3
+        assert "facts=" in out
+
+    def test_bad_input_reports_and_continues(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        script = "+ e(1, X).\nbogus command\n? t(1, Y)\n"
+        assert self.run_script(tmp_path, program_file, facts_file, script) == 0
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "2" in captured.out  # the query still ran
+
+    def test_explain_requires_provenance_flag(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        assert (
+            self.run_script(tmp_path, program_file, facts_file, "explain t(1, 2)\n")
+            == 0
+        )
+        assert "--provenance" in capsys.readouterr().err
+
+    def test_explain_with_provenance(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        code = self.run_script(
+            tmp_path, program_file, facts_file,
+            "explain t(1, 3)\n", "--provenance",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t(1, 3)" in out and "[via" in out
+
+    def test_rejects_bad_jobs(self, tmp_path, program_file, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("quit\n")
+        code = main(
+            ["serve", program_file, "--script", str(path), "--jobs", "0"]
+        )
+        assert code == 2
+        assert "jobs" in capsys.readouterr().err
+
+
 class TestExplain:
     def test_derivation_tree(self, program_file, facts_file, capsys):
         assert main(

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Check that intra-repo markdown links resolve.
+
+Walks every ``*.md`` file in the repository (skipping dot-directories),
+extracts inline links and bare relative references, and verifies that
+
+* relative file targets exist (relative to the linking file), and
+* ``#fragment`` anchors point at a heading that actually exists in the
+  target file (GitHub-style slugs: lowercased, punctuation stripped,
+  spaces to dashes).
+
+External links (``http(s)://``, ``mailto:``) are not fetched — this is
+the *intra-repo* consistency gate the docs CI job runs.  Exits
+non-zero listing every broken link.
+
+Usage::
+
+    python tools/check_md_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {".git", ".github", "__pycache__", "node_modules"}
+#: Retrieval artifacts, not repo documentation: excerpted external
+#: material whose internal anchors point at sections that were never
+#: copied.  Authored docs are never listed here.
+SKIP_FILES = {"SNIPPETS.md", "PAPERS.md", "PAPER.md"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {slugify(match) for match in HEADING_RE.findall(text)}
+
+
+def check(root: Path) -> int:
+    failures = []
+    md_files = [
+        path
+        for path in sorted(root.rglob("*.md"))
+        if path.name not in SKIP_FILES
+        and not any(
+            part in SKIP_DIRS or part.startswith(".")
+            for part in path.parts[len(root.parts):-1]
+        )
+    ]
+    checked = 0
+    for md in md_files:
+        text = md.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            raw_path, _, fragment = target.partition("#")
+            dest = md if not raw_path else (md.parent / raw_path).resolve()
+            rel = md.relative_to(root)
+            if not dest.exists():
+                failures.append(f"{rel}: broken link target {target!r}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    failures.append(
+                        f"{rel}: no heading for anchor {target!r}"
+                    )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(
+        f"checked {checked} intra-repo links across {len(md_files)} "
+        f"markdown files: {len(failures)} broken"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    raise SystemExit(check(root))
