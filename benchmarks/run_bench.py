@@ -30,7 +30,12 @@ one `IncrementalSession` absorbs a deterministic insert/delete script
 while the baseline re-runs ``seminaive_eval`` per update
 (``churn/incremental`` vs ``churn/recompute`` rows and the
 ``churn/incremental_vs_recompute`` speedup); the two final databases
-must be identical.
+must be identical.  ``churn/batch`` vs ``churn/per_call`` measures
+atomic batching — one ``apply_batch`` maintenance pass per chunk of
+the script against the same chunk as individual calls — and
+``churn/batch_journal`` adds an fsync'd write-ahead journal to the
+batched run, isolating the durability overhead of ``serve --journal``
+(``churn/batch_vs_per_call`` and ``churn/journal_overhead`` speedups).
 
 Input sizes scale with ``REPRO_BENCH_SCALE`` (the acceptance runs use
 2; CI smoke uses 0.25).  Exits non-zero if any backends disagree on
@@ -274,6 +279,154 @@ def run_churn(
     return rows, {"churn/incremental_vs_recompute": speedup}, ok
 
 
+def run_batch_churn(
+    best_of: int, series: Series
+) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
+    """Batched maintenance vs per-call passes, and journal overhead.
+
+    The same churn script is applied in chunks: ``churn/batch`` sends
+    each chunk through one :meth:`IncrementalSession.apply_batch` (one
+    combined delete+insert maintenance pass), ``churn/per_call`` plays
+    the chunk's operations as individual ``insert``/``delete`` calls.
+    Chunks are compressed to the last operation per fact first, so both
+    sides provably land on the same final EDB — and the run fails if
+    the final databases (or a from-scratch evaluation) disagree.
+
+    ``churn/batch_journal`` repeats the batched run with every chunk
+    write-ahead-logged to an fsync'd :class:`Journal` first — the
+    durability overhead of ``serve --journal``, isolated from the
+    maintenance work itself.
+    """
+    import tempfile
+
+    from repro.engine.journal import Journal
+
+    n = scaled(150, minimum=20)
+    update_count = scaled(40, minimum=8)
+    chunk_size = 8
+    program = churn_program()
+    script = churn_script(seed=17, updates=update_count, n=n)
+    chunks = [
+        script[i : i + chunk_size] for i in range(0, len(script), chunk_size)
+    ]
+
+    def compress(chunk):
+        """Keep only the last operation per fact; split into batch halves."""
+        last = {}
+        for op, pred, args in chunk:
+            last[(pred, args)] = op
+        inserts = [key for key, op in last.items() if op == "+"]
+        deletes = [key for key, op in last.items() if op == "-"]
+        return inserts, deletes
+
+    batches = [compress(chunk) for chunk in chunks]
+
+    def run_batched(journal=None):
+        session = IncrementalSession(program, churn_edb(n))
+        maintenance = EvalStats()
+        for inserts, deletes in batches:
+            if journal is not None:
+                journal.append_batch(inserts, deletes)
+            maintenance.absorb(
+                session.apply_batch(
+                    inserts=inserts or None, deletes=deletes or None
+                )
+            )
+        return session, maintenance
+
+    best_batch = None
+    for _ in range(best_of):
+        session, maintenance = run_batched()
+        if best_batch is None or maintenance.seconds < best_batch:
+            best_batch = maintenance.seconds
+            batch_stats, batch_db = maintenance, session.database
+
+    best_call = None
+    for _ in range(best_of):
+        session = IncrementalSession(program, churn_edb(n))
+        maintenance = EvalStats()
+        for chunk in chunks:
+            for op, pred, args in chunk:
+                maintenance.absorb(
+                    session.insert([(pred, args)])
+                    if op == "+"
+                    else session.delete([(pred, args)])
+                )
+        if best_call is None or maintenance.seconds < best_call:
+            best_call = maintenance.seconds
+            call_db = session.database
+
+    best_journal = None
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(best_of):
+            import time as _time
+
+            path = os.path.join(tmp, f"bench-{i}.rjn")
+            journal = Journal(path, fsync=True)
+            begin = _time.perf_counter()
+            session, _ = run_batched(journal)
+            elapsed = _time.perf_counter() - begin
+            journal.close()
+            if best_journal is None or elapsed < best_journal:
+                best_journal = elapsed
+
+    edb = churn_edb(n)
+    for op, pred, args in script:
+        if op == "+":
+            edb.add_fact(pred, args)
+        else:
+            edb.remove_fact(pred, args)
+    scratch, _ = seminaive_eval(program, edb)
+    ok = batch_db == call_db == scratch
+    if not ok:
+        print(
+            "FAIL churn/batch: batched, per-call, and from-scratch "
+            "databases disagree",
+            file=sys.stderr,
+        )
+    facts = batch_db.total_facts()
+    rows = [
+        {
+            "label": "churn/batch",
+            "n": n,
+            "facts": facts,
+            "inferences": batch_stats.inferences,
+            "seconds": round(best_batch, 6),
+        },
+        {
+            "label": "churn/per_call",
+            "n": n,
+            "facts": facts,
+            "inferences": None,
+            "seconds": round(best_call, 6),
+        },
+        {
+            "label": "churn/batch_journal",
+            "n": n,
+            "facts": facts,
+            "inferences": None,
+            "seconds": round(best_journal, 6),
+        },
+    ]
+    speedups = {
+        "churn/batch_vs_per_call": (
+            best_call / best_batch if best_batch else float("inf")
+        ),
+        # >= 1.0; how much the fsync'd write-ahead log costs on top of
+        # the batched maintenance itself.
+        "churn/journal_overhead": (
+            best_journal / best_batch if best_batch else float("inf")
+        ),
+    }
+    series.note(
+        f"churn/batch: {speedups['churn/batch_vs_per_call']:.2f}x vs "
+        f"per-call over {len(batches)} chunks of <= {chunk_size}; "
+        f"fsync'd journal costs "
+        f"{speedups['churn/journal_overhead']:.2f}x of the batched run"
+    )
+    return rows, speedups, ok
+
+
 def run(
     best_of: int, only: List[str] | None = None
 ) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
@@ -378,6 +531,12 @@ def run(
         rows.extend(churn_rows)
         speedups.update(churn_speedups)
         ok = ok and churn_ok
+        batch_rows, batch_speedups, batch_ok = run_batch_churn(
+            best_of, series
+        )
+        rows.extend(batch_rows)
+        speedups.update(batch_speedups)
+        ok = ok and batch_ok
     series.show()
     return rows, speedups, ok
 

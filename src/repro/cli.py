@@ -12,7 +12,13 @@ Commands
 ``serve``      Materialize the program and serve queries under EDB
                churn: an incremental-maintenance REPL (or ``--script``
                batch mode) with ``+ fact.`` / ``- fact.`` / ``? query``
-               commands.
+               commands.  ``--journal PATH`` write-ahead-logs every
+               update for crash recovery; ``--strict`` makes script
+               errors fatal instead of report-and-continue.
+``recover``    Replay a journal into a fresh session and dump the
+               recovered database as sorted Datalog facts — the
+               verification half of crash recovery (two runs that must
+               agree produce byte-identical dumps).
 
 Programs are Datalog text files; facts files are Datalog files of
 ground facts (``e(1, 2).``), loaded as the EDB.
@@ -21,6 +27,7 @@ ground facts (``e(1, 2).``), loaded as the EDB.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -157,82 +164,210 @@ def _print_answers(answers) -> None:
         print("\t".join(str(value) for value in row) if row else "true")
 
 
-def _serve_line(session, line: str, provenance: bool) -> bool:
-    """Execute one serve command; returns False on ``quit``.
+class ServeLoop:
+    """The serve REPL's command executor.
 
     Commands: ``+ facts.`` insert, ``- facts.`` delete, ``? query``
     ask, ``explain fact`` derivation tree (``--provenance`` only),
     ``stats`` counters, ``quit`` exit; blank lines and ``#`` comments
-    are skipped.  Errors (parse failures, unsafe input) report and
-    continue — a serving loop must survive bad requests.
+    are skipped.  Every update runs as one atomic
+    :meth:`~repro.engine.incremental.IncrementalSession.apply_batch`,
+    so a failing command rolls back cleanly and the loop keeps serving;
+    errors report with their script line number.  With a journal,
+    updates are validated, then write-ahead-logged, then applied
+    (a rolled-back batch appends a compensating abort record), and a
+    checkpoint is appended every ``checkpoint_every`` batches.
     """
-    line = line.strip()
-    if not line or line.startswith("#"):
-        return True
-    try:
-        if line.startswith("+"):
-            stats = session.insert(line[1:].strip())
-            print(
-                f"+{stats.facts} facts ({stats.incr_rounds} rounds, "
-                f"{stats.seconds * 1000:.1f} ms)"
+
+    def __init__(
+        self,
+        session,
+        *,
+        provenance: bool = False,
+        journal=None,
+        checkpoint_every: Optional[int] = None,
+    ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"invalid checkpoint_every={checkpoint_every!r}; "
+                f"expected a positive integer"
             )
-        elif line.startswith("-"):
-            stats = session.delete(line[1:].strip())
-            print(
-                f"deleted ({stats.incr_rounds} rounds, "
-                f"{stats.rederived} rederived, {stats.seconds * 1000:.1f} ms)"
-            )
-        elif line.startswith("?"):
-            _print_answers(session.query(line[1:].strip()))
-        elif line.startswith("explain "):
-            if not provenance:
-                print("error: explain needs --provenance", file=sys.stderr)
+        self.session = session
+        self.provenance = provenance
+        self.journal = journal
+        self.checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+
+    def run_line(self, line: str, lineno: Optional[int] = None) -> str:
+        """Execute one command; returns ``"ok"``, ``"error"``, or ``"quit"``."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return "ok"
+        try:
+            if line.startswith("+"):
+                stats = self._update(inserts=line[1:].strip())
+                print(
+                    f"+{stats.facts} facts ({stats.incr_rounds} rounds, "
+                    f"{stats.seconds * 1000:.1f} ms)"
+                )
+            elif line.startswith("-"):
+                stats = self._update(deletes=line[1:].strip())
+                print(
+                    f"deleted ({stats.incr_rounds} rounds, "
+                    f"{stats.rederived} rederived, "
+                    f"{stats.seconds * 1000:.1f} ms)"
+                )
+            elif line.startswith("?"):
+                _print_answers(self.session.query(line[1:].strip()))
+            elif line.startswith("explain "):
+                if not self.provenance:
+                    raise ValueError("explain needs --provenance")
+                print(
+                    self.session.explain(line[len("explain "):].strip()).render()
+                )
+            elif line == "stats":
+                print(self.session.stats)
+            elif line in ("quit", "exit"):
+                return "quit"
             else:
-                print(session.explain(line[len("explain "):].strip()).render())
-        elif line == "stats":
-            print(session.stats)
-        elif line in ("quit", "exit"):
-            return False
-        else:
-            print(f"error: unknown command {line!r}", file=sys.stderr)
-    except (ValueError, KeyError, RuntimeError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-    return True
+                raise ValueError(f"unknown command {line!r}")
+        except (ValueError, KeyError, RuntimeError) as exc:
+            prefix = f"error: line {lineno}: " if lineno else "error: "
+            print(f"{prefix}{exc}", file=sys.stderr)
+            return "error"
+        return "ok"
+
+    def _update(self, inserts=None, deletes=None):
+        """One atomic, journaled update batch.
+
+        Input is normalized (parsed and arity-checked) *before* the
+        journal append, so malformed requests never enter the log; the
+        append happens *before* the apply (write-ahead order), so a
+        crash mid-apply replays the batch on recovery.
+        """
+        session = self.session
+        ins = session._normalize(inserts) if inserts is not None else {}
+        dels = session._normalize(deletes) if deletes is not None else {}
+        ins_pairs = [(sig[0], row) for sig, rows in ins.items() for row in rows]
+        del_pairs = [(sig[0], row) for sig, rows in dels.items() for row in rows]
+        if self.journal is not None:
+            self.journal.append_batch(ins_pairs, del_pairs)
+        try:
+            stats = session.apply_batch(
+                inserts=ins_pairs or None, deletes=del_pairs or None
+            )
+        except Exception:
+            if self.journal is not None:
+                # The batch rolled back; compensate its journal record
+                # so recovery does not replay it.
+                self.journal.append_abort()
+            raise
+        if self.journal is not None and self.checkpoint_every:
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.checkpoint_every:
+                self.journal.append_checkpoint(session.edb)
+                self._since_checkpoint = 0
+        return stats
+
+
+def _serve_session(args, program, edb):
+    """Build (or recover) the serve session and its optional journal."""
+    from repro.engine.incremental import IncrementalSession
+    from repro.engine.journal import Journal, recover_session
+
+    knobs = dict(
+        planner=args.planner,
+        jobs=_checked_jobs(args),
+        backend=_checked_backend(args),
+        record_provenance=args.provenance,
+        max_seconds=args.timeout,
+    )
+    if args.journal and os.path.exists(args.journal):
+        session, journal, replayed = recover_session(
+            program, args.journal, edb, **knobs
+        )
+        if replayed:
+            print(
+                f"recovered {replayed} batches from {args.journal}",
+                file=sys.stderr,
+            )
+        return session, journal
+    session = IncrementalSession(program, edb, **knobs)
+    journal = Journal(args.journal) if args.journal else None
+    return session, journal
 
 
 def cmd_serve(args) -> int:
-    from repro.engine.incremental import IncrementalSession
+    from repro.engine import faults
 
     program = _load_program(args.program)
     edb = _load_edb(args.facts)
-    jobs = _checked_jobs(args)
-    backend = _checked_backend(args)
-    session = IncrementalSession(
-        program,
-        edb,
-        planner=args.planner,
-        jobs=jobs,
-        backend=backend,
-        record_provenance=args.provenance,
+    faults.active_plan()  # malformed $REPRO_FAULTS fails here, loudly
+    session, journal = _serve_session(args, program, edb)
+    loop = ServeLoop(
+        session,
+        provenance=args.provenance,
+        journal=journal,
+        checkpoint_every=args.checkpoint_every,
     )
     print(
         f"materialized {session.database.total_facts()} facts in "
         f"{session.stats.seconds * 1000:.1f} ms; serving",
         file=sys.stderr,
     )
-    if args.script:
-        with open(args.script) as handle:
-            for line in handle:
-                if not _serve_line(session, line, args.provenance):
-                    break
+    try:
+        if args.script:
+            with open(args.script) as handle:
+                for lineno, line in enumerate(handle, 1):
+                    status = loop.run_line(line, lineno)
+                    if status == "quit":
+                        break
+                    if status == "error" and args.strict:
+                        print(
+                            f"aborting at line {lineno} (--strict); "
+                            f"the failing command was rolled back",
+                            file=sys.stderr,
+                        )
+                        return 1
+            return 0
+        while True:
+            try:
+                line = input("repro> ")
+            except EOFError:
+                break
+            if loop.run_line(line) == "quit":
+                break
         return 0
-    while True:
-        try:
-            line = input("repro> ")
-        except EOFError:
-            break
-        if not _serve_line(session, line, args.provenance):
-            break
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def cmd_recover(args) -> int:
+    from repro.engine.journal import recover_session
+
+    program = _load_program(args.program)
+    edb = _load_edb(args.facts)
+    session, journal, replayed = recover_session(
+        program,
+        args.journal,
+        edb,
+        planner=args.planner,
+        jobs=_checked_jobs(args),
+        backend=_checked_backend(args),
+        record_provenance=args.provenance,
+        max_seconds=args.timeout,
+    )
+    journal.close()
+    print(
+        f"replayed {replayed} batches; "
+        f"{session.database.total_facts()} facts",
+        file=sys.stderr,
+    )
+    for sig in sorted(session.database.relations):
+        rel = session.database.relations[sig]
+        for fact in sorted(rel.tuples, key=str):
+            print(f"{sig[0]}({', '.join(str(t) for t in fact)}).")
     return 0
 
 
@@ -303,8 +438,62 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record derivations and enable the 'explain fact' command",
     )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="write-ahead journal: log each update (fsync'd) before "
+        "applying it; on restart, committed batches replay so the "
+        "session resumes exactly where it left off",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="append an EDB checkpoint to the journal every N batches "
+        "(bounds replay time after a restart)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="script mode: stop at the first failing line (exit 1) "
+        "instead of report-and-continue; either way the failing "
+        "command is rolled back",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-component wall-clock budget: a runaway fixpoint "
+        "raises (and an update rolls back) instead of hanging "
+        "(default: $REPRO_TIMEOUT or unlimited)",
+    )
     _add_engine_options(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="replay a journal and dump the recovered database",
+    )
+    p.add_argument("program")
+    p.add_argument("journal", help="journal file written by serve --journal")
+    p.add_argument("--facts", help="Datalog file of the original base facts")
+    p.add_argument(
+        "--provenance",
+        action="store_true",
+        help="recover with derivation recording (must match the "
+        "original serve run's setting)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-component wall-clock budget during replay",
+    )
+    _add_engine_options(p)
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("validate", help="lint a program")
     p.add_argument("program")

@@ -8,9 +8,20 @@ the engine exposes those counters on every run via
 
 from repro.engine.database import Database, Relation, RelationStatistics, RelationView
 from repro.engine.unify import Substitution, unify, match, unify_terms
-from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.stats import (
+    ComponentTimeout,
+    EvalStats,
+    MaintenanceError,
+    NonTerminationError,
+)
 from repro.engine.cost import cost_join_order, estimate_fanout, is_guard, resolve_planner
 from repro.engine.plan import PlanCache, RulePlan, compile_rule
+from repro.engine.faults import (
+    FaultInjected,
+    FaultPlan,
+    parse_faults,
+    resolve_faults,
+)
 from repro.engine.backends import (
     ComponentResult,
     ComponentSpec,
@@ -20,6 +31,7 @@ from repro.engine.backends import (
     ThreadBackend,
     make_backend,
     resolve_backend,
+    resolve_retries,
 )
 from repro.engine.scheduler import (
     ComponentRun,
@@ -27,12 +39,20 @@ from repro.engine.scheduler import (
     SCCScheduler,
     component_depths,
     resolve_jobs,
+    resolve_timeout,
 )
 from repro.engine.naive import naive_eval, naive_fixpoint_reference
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.topdown import topdown_eval, TopDownResult
 from repro.engine.provenance import provenance_eval, explain, DerivationTree
 from repro.engine.incremental import IncrementalSession
+from repro.engine.journal import (
+    Journal,
+    JournalError,
+    JournalReplay,
+    recover_session,
+    replay_journal,
+)
 
 __all__ = [
     "Database",
@@ -52,11 +72,18 @@ __all__ = [
     "match",
     "EvalStats",
     "NonTerminationError",
+    "ComponentTimeout",
+    "MaintenanceError",
+    "FaultInjected",
+    "FaultPlan",
+    "parse_faults",
+    "resolve_faults",
     "SCCScheduler",
     "ComponentRun",
     "ComponentTask",
     "component_depths",
     "resolve_jobs",
+    "resolve_timeout",
     "ComponentResult",
     "ComponentSpec",
     "ExecutorBackend",
@@ -65,6 +92,7 @@ __all__ = [
     "ThreadBackend",
     "make_backend",
     "resolve_backend",
+    "resolve_retries",
     "naive_eval",
     "naive_fixpoint_reference",
     "seminaive_eval",
@@ -74,4 +102,9 @@ __all__ = [
     "explain",
     "DerivationTree",
     "IncrementalSession",
+    "Journal",
+    "JournalError",
+    "JournalReplay",
+    "recover_session",
+    "replay_journal",
 ]

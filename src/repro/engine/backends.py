@@ -39,11 +39,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.datalog.rules import Rule
+from repro.engine import faults
 from repro.engine.database import Database, FactTuple, Relation
 from repro.engine.plan import PlanCache
 from repro.engine.stats import EvalStats
@@ -59,6 +61,15 @@ BACKEND_NAMES = ("serial", "thread", "process")
 #: The default when neither parameter nor environment chooses: threads,
 #: the historical behaviour of ``jobs > 1``.
 DEFAULT_BACKEND = "thread"
+
+#: Environment variable supplying the process backend's retry budget.
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: Batch retries after worker loss before degrading to serial.
+DEFAULT_RETRIES = 2
+
+#: First retry back-off in seconds; doubles per subsequent attempt.
+RETRY_BACKOFF = 0.05
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -82,6 +93,34 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"{', '.join(BACKEND_NAMES)}"
         )
     return name
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    """Normalize the worker-loss retry budget, honouring ``REPRO_RETRIES``.
+
+    ``None`` falls back to the environment (default
+    :data:`DEFAULT_RETRIES`).  Anything that is not a non-negative
+    integer raises ``ValueError`` so typos fail loudly — the same
+    contract as :func:`resolve_backend`.  Zero means "never retry:
+    degrade to serial on the first worker loss".
+    """
+    source = "retries"
+    if retries is None:
+        raw = os.environ.get(RETRIES_ENV, "").strip()
+        if not raw:
+            return DEFAULT_RETRIES
+        retries, source = raw, RETRIES_ENV
+    try:
+        value = int(retries)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid {source}={retries!r}; expected a non-negative integer"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"invalid {source}={retries!r}; expected a non-negative integer"
+        )
+    return value
 
 
 def make_backend(backend=None) -> "ExecutorBackend":
@@ -130,6 +169,7 @@ class ComponentSpec:
     planner: Optional[str]
     max_iterations: Optional[int]
     max_facts: Optional[int]
+    max_seconds: Optional[float]
     fact_base: int
     record: bool
     relations: Dict[Signature, Relation]
@@ -150,6 +190,7 @@ class ComponentSpec:
             planner=scheduler.planner,
             max_iterations=scheduler.max_iterations,
             max_facts=scheduler.max_facts,
+            max_seconds=scheduler.max_seconds,
             fact_base=fact_base,
             record=scheduler.recorder is not None,
             relations=db.snapshot(sorted(needed)).relations,
@@ -215,6 +256,7 @@ def evaluate_component(spec: ComponentSpec) -> ComponentResult:
     """
     from repro.engine.scheduler import ComponentRun, ComponentTask
 
+    faults.fire("worker")
     db = Database()
     db.relations = dict(spec.relations)
     baselines = {
@@ -236,6 +278,7 @@ def evaluate_component(spec: ComponentSpec) -> ComponentResult:
         planner=spec.planner,
         max_iterations=spec.max_iterations,
         max_facts=spec.max_facts,
+        max_seconds=spec.max_seconds,
         recorder=recorder,
         fact_base=spec.fact_base,
         cache=_worker_cache(spec.planner) if spec.use_plans else None,
@@ -360,12 +403,34 @@ class ProcessBackend(ExecutorBackend):
     ``start_method`` picks the multiprocessing context (``"fork"``,
     ``"spawn"``, ...); ``None`` uses the platform default.  Worker
     entry points are module-level, so any method is safe.
+
+    **Fault tolerance**: a dying worker (OOM kill, segfault, injected
+    ``kill``) breaks the whole pool — every pending future raises
+    ``BrokenProcessPool``.  Nothing has merged at that point (results
+    merge only after all futures succeed), so the batch is retried
+    whole: the broken pool is discarded, the batch re-submitted after
+    an exponential back-off, up to ``retries`` times
+    (:func:`resolve_retries` / ``REPRO_RETRIES``).  A batch that
+    exhausts its retries degrades gracefully to the serial backend —
+    same results, no parallelism — so one flaky machine never fails an
+    evaluation that can still run.  ``stats.backend_retries`` and
+    ``stats.backend_fallbacks`` record both events.  Real evaluation
+    errors raised *inside* a worker (``NonTerminationError``, a
+    ``ComponentTimeout``) are not retried: they are deterministic and
+    propagate immediately.
     """
 
     name = "process"
 
-    def __init__(self, start_method: Optional[str] = None):
+    def __init__(
+        self,
+        start_method: Optional[str] = None,
+        retries: Optional[int] = None,
+        backoff: float = RETRY_BACKOFF,
+    ):
         self.start_method = start_method
+        self.retries = resolve_retries(retries)
+        self.backoff = backoff
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
 
@@ -382,7 +447,32 @@ class ProcessBackend(ExecutorBackend):
         self._pool_workers = workers
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next batch builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
     def run_batch(self, scheduler, batch, db: Database, stats: EvalStats) -> None:
+        attempt = 0
+        while True:
+            try:
+                self._run_batch_once(scheduler, batch, db, stats)
+                return
+            except BrokenExecutor:
+                self._discard_pool()
+                if attempt >= self.retries:
+                    stats.backend_fallbacks += 1
+                    SerialBackend().run_batch(scheduler, batch, db, stats)
+                    return
+                time.sleep(self.backoff * (2 ** attempt))
+                attempt += 1
+                stats.backend_retries += 1
+
+    def _run_batch_once(
+        self, scheduler, batch, db: Database, stats: EvalStats
+    ) -> None:
         pool = self._ensure_pool(min(scheduler.jobs, 61))  # 61: executor cap
         fact_base = stats.facts
         specs = [
@@ -399,6 +489,13 @@ class ProcessBackend(ExecutorBackend):
                 results.append(None)
                 errors.append(exc)
         if errors:
+            # A real evaluation error beats a worker-loss symptom: when a
+            # worker dies, *every* unfinished future reports the broken
+            # pool, but a NonTerminationError that also surfaced is the
+            # actual cause and retrying cannot fix it.
+            for exc in errors:
+                if not isinstance(exc, BrokenExecutor):
+                    raise exc
             raise errors[0]
         recorder = scheduler.recorder
         for result in results:
@@ -411,7 +508,4 @@ class ProcessBackend(ExecutorBackend):
                 recorder.absorb_derivations(result.derivations)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_workers = 0
+        self._discard_pool()

@@ -535,6 +535,25 @@ class Database:
             )
         return out
 
+    def restore(self, saved: "Database", signatures: Iterable[Signature]) -> None:
+        """Roll the named relations back to their ``saved`` state.
+
+        The undo half of :meth:`snapshot`: the transaction layer
+        snapshots a batch's dirty closure before maintenance, and on
+        failure restores exactly those signatures by pointer swap.
+        Restoration mutates ``self.relations`` in place — the database
+        object itself keeps its identity, so live wrappers over it
+        (``EdbKeyView``, a session's ``database`` attribute) stay
+        valid.  A signature absent from ``saved`` is dropped: it did
+        not exist pre-batch.
+        """
+        for sig in signatures:
+            rel = saved.relations.get(sig)
+            if rel is not None:
+                self.relations[sig] = rel
+            else:
+                self.relations.pop(sig, None)
+
     def adopt_stage(
         self, stage: "Database", signatures: Iterable[Signature]
     ) -> None:

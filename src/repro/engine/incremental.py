@@ -75,9 +75,20 @@ from repro.engine.provenance import (
     ProvenanceResult,
     provenance_eval,
 )
-from repro.engine.scheduler import ComponentRun, ComponentTask, SCCScheduler
+from repro.engine import faults
+from repro.engine.scheduler import (
+    ComponentRun,
+    ComponentTask,
+    SCCScheduler,
+    resolve_timeout,
+)
 from repro.engine.seminaive import seminaive_eval
-from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.stats import (
+    ComponentTimeout,
+    EvalStats,
+    MaintenanceError,
+    NonTerminationError,
+)
 
 Signature = Tuple[str, int]
 FactKey = Tuple[str, int, FactTuple]
@@ -126,6 +137,14 @@ class IncrementalSession:
     to a from-scratch provenance evaluation; it trades the fact-level
     delta paths for component-granular recomputation with a
     support-index fast path on deletion (see the module docstring).
+
+    Every update is **atomic**: :meth:`apply_batch` (which
+    ``insert``/``delete`` delegate to) snapshots the batch's dirty
+    closure before mutating anything, and any maintenance failure —
+    non-termination, a wall-clock timeout (``max_seconds`` /
+    ``REPRO_TIMEOUT``), a lost worker, an injected fault — rolls the
+    session back to its pre-batch state and raises
+    :class:`~repro.engine.stats.MaintenanceError`.
     """
 
     def __init__(
@@ -140,12 +159,18 @@ class IncrementalSession:
         record_provenance: bool = False,
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
     ):
         self.program = program
         self.use_plans = use_plans
         self.record_provenance = record_provenance
         self.max_iterations = max_iterations
         self.max_facts = max_facts
+        self.max_seconds = resolve_timeout(max_seconds)
+        #: Wall-clock deadline of the maintenance pass in flight (armed
+        #: by :meth:`apply_batch`, checked at every delta-round
+        #: boundary); ``None`` outside a pass or without a budget.
+        self._deadline: Optional[float] = None
         self._edb = edb.copy() if edb is not None else Database()
         self._edb_keys = EdbKeyView(self._edb)
         self._cache: Optional[PlanCache] = None
@@ -176,6 +201,7 @@ class IncrementalSession:
             result = provenance_eval(
                 self.program, self._edb,
                 max_iterations=max_iterations, max_facts=max_facts,
+                max_seconds=self.max_seconds,
                 use_plans=use_plans, planner=planner, jobs=jobs, backend=backend,
             )
             self.database = result.database
@@ -196,6 +222,7 @@ class IncrementalSession:
             self.database, init_stats = seminaive_eval(
                 self.program, self._edb,
                 max_iterations=max_iterations, max_facts=max_facts,
+                max_seconds=self.max_seconds,
                 use_plans=use_plans, planner=planner, jobs=jobs, backend=backend,
             )
             self._derivations = None
@@ -266,14 +293,103 @@ class IncrementalSession:
     def insert(self, facts: Updates) -> EvalStats:
         """Add EDB facts; maintain every affected IDB relation forward.
 
-        Returns this pass's stats: ``facts`` counts everything the pass
-        added to the materialized database (new EDB facts and the
-        consequences derived from them), ``incr_rounds`` the delta
-        fixpoint rounds it took.  Facts already present are no-ops.
+        Equivalent to ``apply_batch(inserts=facts)`` — one atomic
+        maintenance pass.  Returns this pass's stats: ``facts`` counts
+        everything the pass added to the materialized database (new EDB
+        facts and the consequences derived from them), ``incr_rounds``
+        the delta fixpoint rounds it took.  Facts already present are
+        no-ops.
         """
-        updates = self._normalize(facts)
+        return self.apply_batch(inserts=facts)
+
+    def delete(self, facts: Updates) -> EvalStats:
+        """Retract EDB facts; maintain the IDB by delete–rederive.
+
+        Equivalent to ``apply_batch(deletes=facts)`` — one atomic
+        maintenance pass.  Facts not currently in the EDB are ignored.
+        Returns this pass's stats: ``rederived`` counts over-deleted
+        facts restored because an alternate derivation survived;
+        ``facts`` counts the restorations added back during
+        re-derivation.
+        """
+        return self.apply_batch(deletes=facts)
+
+    def apply_batch(
+        self,
+        inserts: Optional[Updates] = None,
+        deletes: Optional[Updates] = None,
+    ) -> EvalStats:
+        """One atomic maintenance pass applying deletes, then inserts.
+
+        The batch is all-or-nothing.  Before any mutation, the batch's
+        *dirty closure* — the updated EDB signatures plus every
+        component transitively reachable from them — is snapshotted
+        (compact :meth:`Relation.snapshot` copies, so the cost scales
+        with the affected cone, not the database), along with the
+        provenance store in provenance mode.  Any failure during
+        maintenance — :class:`NonTerminationError`, a
+        :class:`ComponentTimeout` from the wall-clock watchdog, a
+        process-backend worker loss, an injected fault — rolls the
+        database, the EDB, and the provenance store back to their
+        pre-batch state and raises :class:`MaintenanceError` (with the
+        original failure as ``__cause__`` and the failing half in
+        ``.phase``); session statistics are untouched by a failed
+        batch.  After a rollback the session remains exactly a
+        from-scratch evaluation of the pre-batch EDB.
+
+        Deletes run first (DRed), then inserts continue the semi-naive
+        fixpoints forward, so one batch costs one combined pass instead
+        of PR 5's one pass per call.  A fact named in both halves ends
+        up present (delete-then-insert order).  Returns the combined
+        pass statistics, which :attr:`stats` also absorbs on success.
+        """
+        ins = self._normalize(inserts) if inserts is not None else {}
+        dels = self._normalize(deletes) if deletes is not None else {}
         start = time.perf_counter()
         pass_stats = EvalStats()
+        undo = self._begin_undo(set(ins) | set(dels))
+        if self.max_seconds is not None:
+            self._deadline = time.monotonic() + self.max_seconds
+        phase = "delete"
+        try:
+            self._apply_deletes(dels, pass_stats)
+            phase = "insert"
+            self._apply_inserts(ins, pass_stats)
+        except BaseException as exc:
+            self._rollback(undo)
+            if isinstance(exc, Exception):
+                raise MaintenanceError(
+                    f"maintenance batch failed during its {phase} phase "
+                    f"and was rolled back: {exc}",
+                    phase=phase,
+                ) from exc
+            raise  # KeyboardInterrupt and friends propagate unwrapped
+        finally:
+            self._deadline = None
+        pass_stats.seconds = time.perf_counter() - start
+        self.stats.absorb(pass_stats)
+        return pass_stats
+
+    def _apply_deletes(
+        self, updates: Dict[Signature, List[FactTuple]], pass_stats: EvalStats
+    ) -> None:
+        """The delete half of a batch (caller holds the undo snapshot)."""
+        removed: Dict[Signature, List[FactTuple]] = {}
+        for sig, rows in updates.items():
+            base = self._edb.get(*sig)
+            for fact in rows:
+                if base is not None and base.remove_facts((fact,)):
+                    removed.setdefault(sig, []).append(fact)
+        if removed:
+            if self._derivations is None:
+                self._dred(removed, pass_stats)
+            else:
+                self._recompute_after_delete(removed, pass_stats)
+
+    def _apply_inserts(
+        self, updates: Dict[Signature, List[FactTuple]], pass_stats: EvalStats
+    ) -> None:
+        """The insert half of a batch (caller holds the undo snapshot)."""
         changed_start: Dict[Signature, int] = {}
         base_new_sigs: Set[Signature] = set()
         for sig, rows in updates.items():
@@ -290,41 +406,80 @@ class IncrementalSession:
                     pass_stats.record_fact(sig)
             if len(rel) > before:
                 changed_start[sig] = before
+        if not changed_start and not base_new_sigs:
+            return
         if self._derivations is None:
             self._propagate_insertions(changed_start, pass_stats)
         else:
             self._recompute_affected(
                 set(changed_start), base_new_sigs, pass_stats
             )
-        pass_stats.seconds = time.perf_counter() - start
-        self.stats.absorb(pass_stats)
-        return pass_stats
 
-    def delete(self, facts: Updates) -> EvalStats:
-        """Retract EDB facts; maintain the IDB by delete–rederive.
+    # ------------------------------------------------------------------
+    # Undo snapshots and rollback
+    # ------------------------------------------------------------------
 
-        Facts not currently in the EDB are ignored.  Returns this
-        pass's stats: ``rederived`` counts over-deleted facts restored
-        because an alternate derivation survived; ``facts`` counts the
-        restorations added back during re-derivation.
+    def _dirty_closure(self, changed: Set[Signature]) -> Set[Signature]:
+        """Every signature a batch over ``changed`` could mutate.
+
+        The updated signatures themselves plus the signatures of every
+        component that (transitively) reads one — a single pass over
+        the tasks suffices because they are in topological order, so a
+        downstream reader is visited after the component that dirtied
+        its input.
         """
-        updates = self._normalize(facts)
-        start = time.perf_counter()
-        pass_stats = EvalStats()
-        removed: Dict[Signature, List[FactTuple]] = {}
-        for sig, rows in updates.items():
-            base = self._edb.get(*sig)
-            for fact in rows:
-                if base is not None and base.remove_facts((fact,)):
-                    removed.setdefault(sig, []).append(fact)
-        if removed:
-            if self._derivations is None:
-                self._dred(removed, pass_stats)
-            else:
-                self._recompute_after_delete(removed, pass_stats)
-        pass_stats.seconds = time.perf_counter() - start
-        self.stats.absorb(pass_stats)
-        return pass_stats
+        dirty = set(changed)
+        for task in self._tasks:
+            if task.sigs & dirty or any(
+                lit.signature in dirty
+                for rule in task.rules
+                for lit in rule.body
+            ):
+                dirty |= task.sigs
+        return dirty
+
+    def _begin_undo(self, changed: Set[Signature]):
+        """Snapshot everything a batch over ``changed`` could touch."""
+        dirty = self._dirty_closure(changed)
+        db_saved = self._snapshot_present(self.database, dirty)
+        edb_saved = self._snapshot_present(self._edb, changed)
+        prov = None
+        if self._derivations is not None:
+            prov = (
+                dict(self._derivations),
+                {sig: set(keys) for sig, keys in self._deriv_by_sig.items()},
+                {key: set(deps) for key, deps in self._rdeps.items()},
+            )
+        return (db_saved, dirty, edb_saved, set(changed), prov)
+
+    @staticmethod
+    def _snapshot_present(db: Database, sigs: Set[Signature]) -> Database:
+        """Compact copies of the named relations that actually exist.
+
+        Unlike :meth:`Database.snapshot` this records *absence*: a
+        signature missing here was missing pre-batch, so
+        :meth:`Database.restore` drops it instead of installing an
+        empty relation.
+        """
+        out = Database()
+        for sig in sigs:
+            rel = db.relations.get(sig)
+            if rel is not None:
+                out.relations[sig] = rel.snapshot()
+        return out
+
+    def _rollback(self, undo) -> None:
+        """Restore the pre-batch state captured by :meth:`_begin_undo`.
+
+        Relations are restored by in-place pointer swap on the *same*
+        database objects, so live wrappers (``EdbKeyView``, external
+        references to ``session.database``) keep working.
+        """
+        db_saved, dirty, edb_saved, changed, prov = undo
+        self.database.restore(db_saved, dirty)
+        self._edb.restore(edb_saved, changed)
+        if prov is not None:
+            self._derivations, self._deriv_by_sig, self._rdeps = prov
 
     # ------------------------------------------------------------------
     # Shared machinery
@@ -370,6 +525,13 @@ class IncrementalSession:
                 rounds,
                 self.database.total_facts(),
             )
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise ComponentTimeout(
+                f"incremental maintenance of component {sorted(task.sigs)} "
+                f"exceeded its {self.max_seconds:g}s wall-clock budget",
+                rounds,
+                self.database.total_facts(),
+            )
 
     def _component_delta_fixpoint(
         self,
@@ -397,6 +559,7 @@ class IncrementalSession:
         where an ``old`` window would re-index almost the entire
         relation every round to dedupe a usually-tiny delta.
         """
+        faults.fire("component")
         db = self.database
         scc_set = task.sigs
         rels = {sig: db.relation(*sig) for sig in scc_set}
@@ -553,6 +716,8 @@ class IncrementalSession:
                 len(self.database.relation(*sig)) for sig in task.sigs
             )
             rounds = 0
+            if frontier:
+                faults.fire("component")
             while frontier:
                 if self._overdelete_saturated(task, deleted, own_total):
                     break
@@ -751,6 +916,7 @@ class IncrementalSession:
             planner=self.planner,
             max_iterations=self.max_iterations,
             max_facts=self.max_facts,
+            max_seconds=self.max_seconds,
             recorder=recorder,
             cache=self._cache,
         )

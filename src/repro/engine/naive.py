@@ -36,6 +36,7 @@ def naive_eval(
     planner: Optional[str] = None,
     jobs: Optional[int] = None,
     backend=None,
+    max_seconds: Optional[float] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
@@ -46,8 +47,9 @@ def naive_eval(
     raising :class:`~repro.engine.stats.NonTerminationError`.
     ``planner`` selects greedy or cost-based join ordering for compiled
     plans, ``jobs`` evaluates independent SCCs concurrently, and
-    ``backend`` picks the executor those batches run on (see
-    :func:`repro.engine.seminaive.seminaive_eval` for all three knobs).
+    ``backend`` picks the executor those batches run on, and
+    ``max_seconds`` arms the per-component wall-clock watchdog (see
+    :func:`repro.engine.seminaive.seminaive_eval` for all four knobs).
     """
     db = edb.copy()
     stats = EvalStats()
@@ -63,6 +65,7 @@ def naive_eval(
         backend=backend,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        max_seconds=max_seconds,
     )
     scheduler.run(db, stats)
 

@@ -241,6 +241,7 @@ def provenance_eval(
     planner: Optional[str] = None,
     jobs: Optional[int] = None,
     backend=None,
+    max_seconds: Optional[float] = None,
 ) -> ProvenanceResult:
     """SCC-stratified semi-naive fixpoint recording one derivation per fact.
 
@@ -278,6 +279,7 @@ def provenance_eval(
         backend=backend,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        max_seconds=max_seconds,
         recorder=DerivationRecorder(derivations, edb_keys),
     )
     scheduler.run(db, stats)

@@ -38,23 +38,28 @@ backend and every ``jobs`` value; only wall time and scheduling vary.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dependency import DependencyGraph
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
+from repro.engine import faults
 from repro.engine.backends import make_backend
 from repro.engine.cost import resolve_planner
 from repro.engine.database import Database, FactTuple, Relation
 from repro.engine.joins import _resolve, instantiate_head, join_rule, relation_from_tuples
 from repro.engine.plan import PlanCache, RoleSpec
-from repro.engine.stats import EvalStats, NonTerminationError
+from repro.engine.stats import ComponentTimeout, EvalStats, NonTerminationError
 
 Signature = Tuple[str, int]
 FactKey = Tuple[str, int, FactTuple]
 
 #: Environment variable supplying the session-wide default worker count.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable supplying the session-wide watchdog budget.
+TIMEOUT_ENV = "REPRO_TIMEOUT"
 
 #: Fixpoint modes the scheduler knows how to drive.
 MODES = ("seminaive", "naive")
@@ -82,6 +87,38 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def resolve_timeout(max_seconds=None) -> Optional[float]:
+    """Normalize a watchdog budget, honouring ``REPRO_TIMEOUT``.
+
+    ``None`` falls back to the environment; an empty/unset environment
+    means no watchdog (the default).  The budget is per *component*
+    wall clock, checked at fixpoint round boundaries; a component that
+    exceeds it raises :class:`~repro.engine.stats.ComponentTimeout`.
+    Anything that is not a positive number of seconds raises
+    ``ValueError`` so typos fail loudly — mirroring
+    :func:`resolve_jobs`/:func:`repro.engine.backends.resolve_backend`.
+    """
+    source = "max_seconds"
+    if max_seconds is None:
+        raw = os.environ.get(TIMEOUT_ENV, "").strip()
+        if not raw:
+            return None
+        max_seconds, source = raw, TIMEOUT_ENV
+    try:
+        value = float(max_seconds)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid {source}={max_seconds!r}; expected a positive number "
+            f"of seconds"
+        ) from None
+    if not value > 0:  # also rejects NaN
+        raise ValueError(
+            f"invalid {source}={max_seconds!r}; expected a positive number "
+            f"of seconds"
+        )
+    return value
 
 
 def component_depths(
@@ -182,6 +219,7 @@ class SCCScheduler:
         backend=None,
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
         recorder=None,
     ):
         if mode not in MODES:
@@ -194,6 +232,7 @@ class SCCScheduler:
         self.backend = make_backend(backend)
         self.max_iterations = max_iterations
         self.max_facts = max_facts
+        self.max_seconds = resolve_timeout(max_seconds)
         self.recorder = recorder
 
         self.graph = DependencyGraph(program)
@@ -242,6 +281,7 @@ class SCCScheduler:
             planner=self.planner,
             max_iterations=self.max_iterations,
             max_facts=self.max_facts,
+            max_seconds=self.max_seconds,
             recorder=recorder,
             fact_base=fact_base,
         )
@@ -325,8 +365,10 @@ class ComponentRun:
         "recorder",
         "max_iterations",
         "max_facts",
+        "max_seconds",
         "fact_base",
         "rounds",
+        "_deadline",
     )
 
     def __init__(
@@ -337,6 +379,7 @@ class ComponentRun:
         planner: Optional[str] = None,
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
         recorder=None,
         fact_base: int = 0,
         cache: Optional[PlanCache] = None,
@@ -350,8 +393,10 @@ class ComponentRun:
         self.recorder = recorder
         self.max_iterations = max_iterations
         self.max_facts = max_facts
+        self.max_seconds = max_seconds
         self.fact_base = fact_base
         self.rounds = 0
+        self._deadline: Optional[float] = None
 
     # -- budget guards --------------------------------------------------
 
@@ -377,10 +422,22 @@ class ComponentRun:
                 stats.iterations,
                 self.fact_base + stats.facts,
             )
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise ComponentTimeout(
+                f"component {sorted(self.task.sigs)} exceeded its "
+                f"{self.max_seconds:g}s wall-clock budget",
+                stats.iterations,
+                self.fact_base + stats.facts,
+            )
 
     # -- dispatch ---------------------------------------------------------
 
     def execute(self, db: Database, stats: EvalStats) -> None:
+        faults.fire("component")
+        if self.max_seconds is not None:
+            # Per-component wall clock: the watchdog is armed at execute
+            # time (not construction) so pool queueing doesn't count.
+            self._deadline = time.monotonic() + self.max_seconds
         if self.recorder is not None:
             # Source the provenance backend ratio where the work runs:
             # every component of one evaluation uses the same backend,

@@ -45,6 +45,7 @@ def seminaive_eval(
     planner: Optional[str] = None,
     jobs: Optional[int] = None,
     backend=None,
+    max_seconds: Optional[float] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, semi-naively.
 
@@ -70,7 +71,11 @@ def seminaive_eval(
     ``"process"`` (:class:`~repro.engine.backends.ProcessBackend`,
     real multi-core parallelism; components ship as declarative specs
     and workers recompile plans locally); ``None`` reads
-    ``REPRO_BACKEND``.  Every combination of execution backend,
+    ``REPRO_BACKEND``.  ``max_seconds`` arms a per-component
+    wall-clock watchdog (``None`` reads ``REPRO_TIMEOUT``): a
+    component fixpoint that outlives its budget raises
+    :class:`~repro.engine.stats.ComponentTimeout` at the next round
+    boundary.  Every combination of execution backend,
     planner, and job count derives the identical fixpoint with
     identical ``facts``/``inferences``/``iterations`` counters; only
     join order, probe counts, and wall time differ.
@@ -89,6 +94,7 @@ def seminaive_eval(
         backend=backend,
         max_iterations=max_iterations,
         max_facts=max_facts,
+        max_seconds=max_seconds,
     )
     scheduler.run(db, stats)
 

@@ -38,7 +38,43 @@ class NonTerminationError(RuntimeError):
         # message), which would drop the counters and crash on the
         # three-argument constructor; the process execution backend
         # needs the full error to cross back from a worker.
-        return (NonTerminationError, (self.args[0], self.iterations, self.facts))
+        # ``type(self)`` keeps subclasses (ComponentTimeout) intact.
+        return (type(self), (self.args[0], self.iterations, self.facts))
+
+
+class ComponentTimeout(NonTerminationError):
+    """Raised when a component fixpoint exceeds its wall-clock budget.
+
+    The per-component watchdog (``max_seconds`` on the evaluators,
+    ``--timeout`` on the CLI, ``REPRO_TIMEOUT`` in the environment)
+    turns a runaway fixpoint into this error at the next round
+    boundary — inside a maintenance pass that means a clean rollback
+    instead of a hang.  Subclasses :class:`NonTerminationError` because
+    it is the same phenomenon observed on a different axis: a budget
+    (wall clock rather than rounds or facts) exceeded by a divergent
+    or pathologically slow component.
+    """
+
+
+class MaintenanceError(RuntimeError):
+    """A maintenance batch failed and the session was rolled back.
+
+    Raised by :meth:`repro.engine.incremental.IncrementalSession.apply_batch`
+    (and therefore ``insert``/``delete``) after the database, the EDB,
+    and the provenance store have been restored to their pre-batch
+    state — the session remains exactly a from-scratch evaluation of
+    the pre-batch EDB.  ``phase`` names the half of the combined pass
+    that failed (``"delete"`` or ``"insert"``); ``__cause__`` carries
+    the original failure (:class:`NonTerminationError`,
+    :class:`ComponentTimeout`, a worker loss, an injected fault, ...).
+    """
+
+    def __init__(self, message: str, phase: str = "?"):
+        super().__init__(message)
+        self.phase = phase
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.phase))
 
 
 @dataclass
@@ -73,6 +109,13 @@ class EvalStats:
     re-derivation all count their rounds here, never in
     ``iterations``) and ``rederived`` (facts DRed over-deleted and
     then restored because an alternate derivation survived).
+
+    Backend fault tolerance adds ``backend_retries`` (depth batches
+    re-submitted to the process pool after a
+    ``BrokenProcessPool``/worker loss) and ``backend_fallbacks``
+    (batches that exhausted their retries and degraded to the serial
+    backend).  Both stay zero on healthy runs — the determinism fuzz
+    suite relies on that.
     """
 
     facts: int = 0
@@ -88,6 +131,8 @@ class EvalStats:
     provenance_plan_ratio: float = 0.0
     incr_rounds: int = 0
     rederived: int = 0
+    backend_retries: int = 0
+    backend_fallbacks: int = 0
     estimated_vs_actual: List[Tuple[float, int]] = field(default_factory=list)
     per_predicate: Dict[Tuple[str, int], int] = field(default_factory=dict)
 
@@ -158,6 +203,8 @@ class EvalStats:
         self.scc_parallel_batches += other.scc_parallel_batches
         self.incr_rounds += other.incr_rounds
         self.rederived += other.rederived
+        self.backend_retries += other.backend_retries
+        self.backend_fallbacks += other.backend_fallbacks
         room = MAX_ESTIMATE_SAMPLES - len(self.estimated_vs_actual)
         if room > 0:
             self.estimated_vs_actual.extend(other.estimated_vs_actual[:room])

@@ -58,9 +58,12 @@ class DeductiveDatabase:
     identical for every job count) and ``backend`` picks the executor
     they run on — ``"serial"``, ``"thread"``, or ``"process"`` for
     real multi-core parallelism (``None`` defers to
-    ``REPRO_BACKEND``).  ``use_plans=False`` drops to the legacy
-    dict-based interpreter — the differential-testing escape hatch,
-    not a production setting.
+    ``REPRO_BACKEND``).  ``max_seconds`` arms a per-component
+    wall-clock watchdog on materialized sessions (``None`` defers to
+    ``REPRO_TIMEOUT``): a runaway maintenance fixpoint rolls back with
+    :class:`~repro.engine.stats.MaintenanceError` instead of hanging.
+    ``use_plans=False`` drops to the legacy dict-based interpreter —
+    the differential-testing escape hatch, not a production setting.
     """
 
     def __init__(
@@ -70,6 +73,7 @@ class DeductiveDatabase:
         jobs: Optional[int] = None,
         backend: Optional[str] = None,
         use_plans: bool = True,
+        max_seconds: Optional[float] = None,
     ):
         self._rules: List = []
         self._program: Optional[Program] = None
@@ -81,6 +85,7 @@ class DeductiveDatabase:
         self._jobs = jobs
         self._backend = backend
         self._use_plans = use_plans
+        self._max_seconds = max_seconds
 
     # ------------------------------------------------------------------
     # Loading
@@ -251,6 +256,7 @@ class DeductiveDatabase:
         kwargs.setdefault("jobs", self._jobs)
         kwargs.setdefault("backend", self._backend)
         kwargs.setdefault("use_plans", self._use_plans)
+        kwargs.setdefault("max_seconds", self._max_seconds)
         program, edb_view = self._effective()
         bridged = {
             sig

@@ -171,3 +171,264 @@ class TestExplain:
         )
         assert code == 1
         assert "not derivable" in capsys.readouterr().err
+
+
+class TestServeRobustness:
+    """Script errors: line numbers, rollback, and --strict (satellite a)."""
+
+    run_script = TestServe.run_script
+
+    def test_error_reports_line_number(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        script = "? t(1, Y)\nbogus command\n? t(1, Y)\n"
+        assert self.run_script(tmp_path, program_file, facts_file, script) == 0
+        assert "error: line 2:" in capsys.readouterr().err
+
+    def test_failing_command_rolls_back_and_continues(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        # The malformed insert fails; the session must still answer
+        # exactly as if the line had never been sent.
+        script = "? t(1, Y)\n+ e(1, X).\n? t(1, Y)\n"
+        assert self.run_script(tmp_path, program_file, facts_file, script) == 0
+        captured = capsys.readouterr()
+        assert "error: line 2:" in captured.err
+        lines = [l for l in captured.out.splitlines() if l.strip()]
+        half = len(lines) // 2
+        assert lines[:half] == lines[half:]  # identical answer blocks
+
+    def test_strict_aborts_at_the_failing_line(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        script = "bogus command\n? t(1, Y)\n"
+        code = self.run_script(
+            tmp_path, program_file, facts_file, script, "--strict"
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "aborting at line 1" in captured.err
+        assert "2" not in captured.out  # the query after never ran
+
+    def test_strict_passes_clean_scripts(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        script = "+ e(4, 5).\n? t(1, Y)\nquit\n"
+        code = self.run_script(
+            tmp_path, program_file, facts_file, script, "--strict"
+        )
+        assert code == 0
+        assert "5" in capsys.readouterr().out
+
+
+class TestServeKnobValidation:
+    """New knobs fail as loudly as --jobs/--backend (satellite b)."""
+
+    def _serve(self, tmp_path, program_file, *extra):
+        path = tmp_path / "empty.txt"
+        path.write_text("quit\n")
+        return main(
+            ["serve", program_file, "--script", str(path)] + list(extra)
+        )
+
+    def test_rejects_bad_checkpoint_every(self, tmp_path, program_file, capsys):
+        code = self._serve(tmp_path, program_file, "--checkpoint-every", "0")
+        assert code == 2
+        assert "checkpoint_every" in capsys.readouterr().err
+
+    def test_rejects_bad_timeout(self, tmp_path, program_file, capsys):
+        code = self._serve(tmp_path, program_file, "--timeout", "-1")
+        assert code == 2
+        assert "seconds" in capsys.readouterr().err
+
+    def test_rejects_malformed_faults_env(
+        self, tmp_path, program_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "junk")
+        from repro.engine import faults
+
+        faults.clear()  # re-arm the lazy env lookup
+        code = self._serve(tmp_path, program_file)
+        assert code == 2
+        assert "REPRO_FAULTS" in capsys.readouterr().err
+        monkeypatch.delenv("REPRO_FAULTS")
+        faults.clear()
+
+    def test_rejects_malformed_timeout_env(
+        self, tmp_path, program_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TIMEOUT", "soon")
+        code = self._serve(tmp_path, program_file)
+        assert code == 2
+        assert "REPRO_TIMEOUT" in capsys.readouterr().err
+
+
+class TestServeJournal:
+    """serve --journal: write-ahead logging and restart recovery."""
+
+    def serve(self, tmp_path, program_file, facts_file, script, *extra):
+        path = tmp_path / "serve.txt"
+        path.write_text(script)
+        return main(
+            [
+                "serve",
+                program_file,
+                "--facts",
+                facts_file,
+                "--script",
+                str(path),
+            ]
+            + list(extra)
+        )
+
+    def test_restart_resumes_where_it_left_off(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        journal = str(tmp_path / "wal.rjn")
+        code = self.serve(
+            tmp_path, program_file, facts_file,
+            "+ e(4, 5).\n- e(2, 3).\nquit\n", "--journal", journal,
+        )
+        assert code == 0
+        capsys.readouterr()
+        # Second run over the same journal: both batches replay.
+        code = self.serve(
+            tmp_path, program_file, facts_file,
+            "? t(3, Y)\n? t(1, Y)\nquit\n", "--journal", journal,
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "recovered 2 batches" in captured.err
+        out = captured.out.splitlines()
+        assert "4" in out and "5" in out  # t(3, 4), t(3, 5) survive
+        assert out.count("2") == 1  # t(1, 2) only: e(2, 3) stays deleted
+
+    def test_rolled_back_batch_is_not_replayed(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        journal = str(tmp_path / "wal.rjn")
+        # e(1, X) fails normalization and never reaches the journal;
+        # a semantically failing batch would abort-compensate instead.
+        code = self.serve(
+            tmp_path, program_file, facts_file,
+            "+ e(4, 5).\n+ e(1, X).\nquit\n", "--journal", journal,
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["recover", program_file, journal, "--facts", facts_file]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "replayed 1 batches" in captured.err
+        assert "e(4, 5)." in captured.out
+        assert "X" not in captured.out
+
+    def test_checkpoint_bounds_replay(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        journal = str(tmp_path / "wal.rjn")
+        code = self.serve(
+            tmp_path, program_file, facts_file,
+            "+ e(4, 5).\n+ e(5, 6).\n+ e(6, 7).\nquit\n",
+            "--journal", journal, "--checkpoint-every", "2",
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(
+            ["recover", program_file, journal, "--facts", facts_file]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        # Two batches landed before the checkpoint; only the third replays.
+        assert "replayed 1 batches" in captured.err
+        assert "t(1, 7)." in captured.out
+
+    def test_recover_dump_matches_clean_run(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        script = "+ e(4, 5).\n- e(1, 2).\n+ e(2, 1).\nquit\n"
+        j1, j2 = str(tmp_path / "a.rjn"), str(tmp_path / "b.rjn")
+        assert self.serve(
+            tmp_path, program_file, facts_file, script, "--journal", j1
+        ) == 0
+        assert self.serve(
+            tmp_path, program_file, facts_file, script, "--journal", j2
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["recover", program_file, j1, "--facts", facts_file]
+        ) == 0
+        dump1 = capsys.readouterr().out
+        assert main(
+            ["recover", program_file, j2, "--facts", facts_file]
+        ) == 0
+        dump2 = capsys.readouterr().out
+        assert dump1 == dump2  # byte-identical recovered databases
+        assert "t(" in dump1
+
+
+class TestCrashRecovery:
+    """kill -9 a journaled serve mid-stream; recovery must match a
+    run that never crashed (the CI crash-recovery smoke)."""
+
+    def test_sigkill_mid_stream_recovers_bit_identical(
+        self, tmp_path, program_file, facts_file, capsys
+    ):
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        journal = str(tmp_path / "crash.rjn")
+        proc = subprocess.Popen(
+            [
+                _sys.executable, "-u", "-m", "repro", "serve",
+                program_file, "--facts", facts_file, "--journal", journal,
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        updates = ["+ e(4, 5).", "+ e(5, 6).", "- e(1, 2)."]
+        try:
+            for line in updates:
+                proc.stdin.write(line + "\n")
+                proc.stdin.flush()
+                ack = proc.stdout.readline()  # per-batch acknowledgement
+                assert ack.strip(), "serve died before acknowledging a batch"
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        # A clean run of the same updates, journaled, never killed.
+        clean = str(tmp_path / "clean.rjn")
+        script = tmp_path / "clean.txt"
+        script.write_text("\n".join(updates) + "\nquit\n")
+        assert main(
+            [
+                "serve", program_file, "--facts", facts_file,
+                "--script", str(script), "--journal", clean,
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(
+            ["recover", program_file, journal, "--facts", facts_file]
+        ) == 0
+        crashed_dump = capsys.readouterr().out
+        assert main(
+            ["recover", program_file, clean, "--facts", facts_file]
+        ) == 0
+        clean_dump = capsys.readouterr().out
+        assert crashed_dump == clean_dump
+        assert "t(2, 6)." in crashed_dump
+        assert "t(1, 2)." not in crashed_dump  # the delete survived the crash

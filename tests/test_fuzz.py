@@ -382,3 +382,90 @@ def test_instance_mode_certification_is_sound(program_seed, edb_seed, n):
     expected = oracle_answers(program, goal, edb)
     answers, _ = result.answers(edb)
     assert answers == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 2_000),
+    batch_seed=st.integers(0, 10_000),
+    nth=st.integers(1, 3),
+    n=st.integers(3, 8),
+    provenance=st.booleans(),
+)
+def test_injected_faults_never_leave_intermediate_state(
+    program_seed, edb_seed, batch_seed, nth, n, provenance
+):
+    """The differential fault property (the PR's robustness fuzz).
+
+    One random program, one random EDB, one random mixed batch, and a
+    fault injected at a random component boundary.  Whatever happens —
+    the fault fires mid-batch or the batch finishes before boundary
+    ``nth`` — the session must sit on exactly one of two states: the
+    from-scratch fixpoint of the *pre-batch* EDB (fault fired, batch
+    rolled back) or of the *post-batch* EDB (batch committed).  Never
+    anything in between, and a faultless retry always reaches the
+    post-batch oracle.
+    """
+    import random
+
+    from repro.engine import faults
+    from repro.engine.incremental import IncrementalSession
+    from repro.engine.provenance import provenance_eval
+    from repro.engine.stats import MaintenanceError
+
+    program = random_program(program_seed)
+    pre_edb = random_edb(edb_seed, n=n)
+    session = IncrementalSession(
+        program, pre_edb, record_provenance=provenance
+    )
+
+    rng = random.Random(batch_seed)
+    inserts = [
+        (f"e{rng.randrange(3)}", (rng.randrange(n), rng.randrange(n)))
+        for _ in range(rng.randrange(1, 4))
+    ]
+    stored = sorted(
+        (sig[0], tuple(t.value for t in fact))
+        for sig, rel in pre_edb.relations.items()
+        for fact in rel.tuples
+    )
+    deletes = [stored[rng.randrange(len(stored))]] if stored else []
+
+    post_edb = random_edb(edb_seed, n=n)
+    for pred, args in deletes:
+        post_edb.remove_fact(pred, args)
+    for pred, args in inserts:
+        post_edb.add_fact(pred, args)
+
+    pre_oracle, _ = seminaive_eval(program, pre_edb)
+    post_oracle, _ = seminaive_eval(program, post_edb)
+
+    try:
+        faults.install(
+            faults.parse_faults(f"component:raise:{nth}")
+        )
+        try:
+            session.apply_batch(inserts=inserts, deletes=deletes or None)
+        except MaintenanceError:
+            # Fault fired mid-batch: rolled back to the pre-batch oracle.
+            assert session.database == pre_oracle, (
+                f"intermediate state survived a fault on seeds "
+                f"{program_seed}/{edb_seed}/{batch_seed} nth={nth}"
+            )
+        else:
+            # The batch finished before boundary ``nth`` was reached.
+            assert session.database == post_oracle
+        faults.install(None)
+        # A faultless retry always lands on the post-batch oracle
+        # (re-applying a committed batch is idempotent).
+        session.apply_batch(inserts=inserts, deletes=deletes or None)
+        assert session.database == post_oracle, (
+            f"retry diverged on seeds "
+            f"{program_seed}/{edb_seed}/{batch_seed} nth={nth}"
+        )
+        if provenance:
+            prov_ref = provenance_eval(program, post_edb)
+            assert session._derivations == prov_ref.derivations
+    finally:
+        faults.clear()

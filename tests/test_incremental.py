@@ -377,3 +377,101 @@ class TestSessionIntegration:
         session.delete([("e", (4, 5))])
         assert session.stats.facts > before
         assert session.stats.incr_rounds > 0
+
+
+class TestApplyBatch:
+    """Atomic mixed batches: one maintenance pass, all-or-nothing."""
+
+    def test_mixed_batch_matches_scratch(self):
+        edb = chain(5)
+        session = IncrementalSession(LAYERED, edb)
+        session.apply_batch(
+            inserts=[("e", (5, 6)), ("sel", (3,))],
+            deletes=[("e", (0, 1))],
+        )
+        edb.add_facts("e", [(5, 6)])
+        edb.add_fact("sel", (3,))
+        edb.remove_fact("e", (0, 1))
+        assert_matches_scratch(session, edb, LAYERED)
+
+    def test_batch_equals_sequential_application(self):
+        """One batched pass lands on the same state as per-call passes
+        (deletes first, then inserts — the documented order)."""
+        batched = IncrementalSession(LAYERED, chain(6))
+        stepped = IncrementalSession(LAYERED, chain(6))
+        inserts = [("e", (6, 7)), ("sel", (2,))]
+        deletes = [("e", (1, 2))]
+        batched.apply_batch(inserts=inserts, deletes=deletes)
+        stepped.delete(deletes)
+        stepped.insert(inserts)
+        assert batched.database == stepped.database
+        assert batched.edb == stepped.edb
+
+    def test_fact_in_both_sides_ends_present(self):
+        """Delete-then-insert order means +x/-x overlap keeps x."""
+        edb = chain(4)
+        session = IncrementalSession(TC, edb)
+        session.apply_batch(
+            inserts=[("e", (0, 1))], deletes=[("e", (0, 1))]
+        )
+        assert_matches_scratch(session, edb)  # unchanged overall
+        assert (1,) in session.query("t(0, Y)")
+
+    def test_empty_batch_is_a_noop(self):
+        session = IncrementalSession(TC, chain(3))
+        before = session.database.total_facts()
+        stats = session.apply_batch()
+        assert session.database.total_facts() == before
+        assert stats.facts == 0
+
+    @pytest.mark.parametrize("provenance", [False, True])
+    def test_rollback_restores_everything(self, provenance):
+        """A batch that dies mid-flight (round-budget blowout in the
+        insert phase, after the delete phase already mutated state)
+        leaves database, EDB, statistics, and derivations exactly as
+        they were."""
+        from repro.engine.stats import MaintenanceError, NonTerminationError
+
+        session = IncrementalSession(
+            TC, chain(5), record_provenance=provenance, max_iterations=8
+        )
+        db_before = {
+            sig: set(rel.tuples)
+            for sig, rel in session.database.relations.items()
+        }
+        edb_before = {
+            sig: set(rel.tuples)
+            for sig, rel in session.edb.relations.items()
+        }
+        stats_before = (session.stats.facts, session.stats.inferences)
+        derivs_before = (
+            dict(session._derivations) if provenance else None
+        )
+        poison = [("e", (100 + i, 101 + i)) for i in range(20)]
+        with pytest.raises(MaintenanceError) as exc_info:
+            session.apply_batch(inserts=poison, deletes=[("e", (0, 1))])
+        assert exc_info.value.phase == "insert"
+        assert isinstance(exc_info.value.__cause__, NonTerminationError)
+        assert {
+            sig: set(rel.tuples)
+            for sig, rel in session.database.relations.items()
+        } == db_before
+        assert {
+            sig: set(rel.tuples)
+            for sig, rel in session.edb.relations.items()
+        } == edb_before
+        assert (session.stats.facts, session.stats.inferences) == stats_before
+        if provenance:
+            assert dict(session._derivations) == derivs_before
+        # The session still works: the delete alone goes through.
+        session.delete([("e", (0, 1))])
+        edb = chain(5)
+        edb.remove_fact("e", (0, 1))
+        assert_matches_scratch(session, edb)
+
+    def test_malformed_batch_raises_without_wrapping(self):
+        """Input errors are the caller's problem, not a maintenance
+        failure — no rollback machinery, no MaintenanceError."""
+        session = IncrementalSession(TC, chain(3))
+        with pytest.raises(TypeError):
+            session.apply_batch(inserts=[42])  # not a (predicate, args) pair

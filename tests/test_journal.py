@@ -1,0 +1,353 @@
+"""Write-ahead journal: record format, torn tails, and recovery.
+
+The load-bearing property is *replay determinism*: a session recovered
+from a journal — after a clean shutdown, a crash mid-batch, or a crash
+mid-journal-write — is bit-identical (database, EDB, derivations) to a
+session that applied the same committed batches and never crashed.
+``TestRecoveryMatrix`` checks it across the full knob matrix, and the
+torn-tail tests check it for a crash at *every byte offset* of the
+final record.
+"""
+
+import pickle
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.engine import faults
+from repro.engine.database import Database
+from repro.engine.faults import FaultInjected, parse_faults
+from repro.engine.incremental import IncrementalSession
+from repro.engine.stats import MaintenanceError
+from repro.engine.journal import (
+    MAGIC,
+    Journal,
+    JournalError,
+    recover_session,
+    replay_journal,
+)
+
+TC_TEXT = """
+t(X, Y) :- e(X, Y).
+t(X, Y) :- e(X, Z), t(Z, Y).
+"""
+
+BASE = {"e": [(1, 2), (2, 3)]}
+
+#: The batch sequence every journal test replays.
+SCRIPT = [
+    ([("e", (3, 4))], []),
+    ([("e", (4, 5)), ("e", (5, 6))], [("e", (1, 2))]),
+    ([], [("e", (5, 6))]),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def run_journaled(path, batches=SCRIPT, **session_kwargs):
+    """Apply ``batches`` through a session while journaling each one."""
+    program = parse_program(TC_TEXT)
+    session = IncrementalSession(
+        program, Database.from_dict(BASE), **session_kwargs
+    )
+    with Journal(path) as journal:
+        for inserts, deletes in batches:
+            journal.append_batch(inserts, deletes)
+            session.apply_batch(
+                inserts=inserts or None, deletes=deletes or None
+            )
+    return session
+
+
+def clean_session(batches=SCRIPT, **session_kwargs):
+    program = parse_program(TC_TEXT)
+    session = IncrementalSession(
+        program, Database.from_dict(BASE), **session_kwargs
+    )
+    for inserts, deletes in batches:
+        session.apply_batch(inserts=inserts or None, deletes=deletes or None)
+    return session
+
+
+def assert_same_state(recovered, clean):
+    assert recovered.database == clean.database
+    assert recovered.edb == clean.edb
+    assert recovered._derivations == clean._derivations
+
+
+class TestRecordFormat:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        run_journaled(path)
+        replay = replay_journal(path)
+        assert replay.batches == SCRIPT
+        assert replay.checkpoint is None
+        assert not replay.torn
+
+    def test_empty_journal_is_clean(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        Journal(path).close()
+        replay = replay_journal(path)
+        assert replay.batches == []
+        assert not replay.torn
+        assert replay.tail_offset == len(MAGIC)
+
+    def test_abort_drops_the_preceding_batch(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            journal.append_batch(*SCRIPT[1])
+            journal.append_abort()
+        replay = replay_journal(path)
+        assert replay.batches == [SCRIPT[0]]
+
+    def test_checkpoint_resets_the_replay_base(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        edb = Database.from_dict({"e": [(7, 8)]})
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            journal.append_checkpoint(edb)
+            journal.append_batch(*SCRIPT[1])
+        replay = replay_journal(path)
+        assert replay.checkpoint == edb
+        assert replay.batches == [SCRIPT[1]]
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        path.write_bytes(b"NOPE" + b"x" * 32)
+        with pytest.raises(JournalError, match="not a repro journal"):
+            replay_journal(path)
+        with pytest.raises(JournalError, match="bad magic"):
+            Journal(path)
+
+    def test_missing_magic_raises(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        path.write_bytes(b"RJ")
+        with pytest.raises(JournalError):
+            replay_journal(path)
+
+    def test_crc_corruption_stops_replay_at_that_record(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        run_journaled(path)
+        clean = replay_journal(path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a byte inside the last payload
+        path.write_bytes(bytes(data))
+        replay = replay_journal(path)
+        assert replay.torn
+        assert replay.batches == clean.batches[:-1]
+        assert replay.tail_offset < len(data)
+
+    def test_unknown_kind_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            offset = journal._fh.tell()
+            journal.append_batch(*SCRIPT[1])
+        data = bytearray(path.read_bytes())
+        data[offset] = ord("Z")
+        path.write_bytes(bytes(data))
+        replay = replay_journal(path)
+        assert replay.torn
+        assert replay.batches == [SCRIPT[0]]
+        assert replay.tail_offset == offset
+
+    def test_garbage_pickle_with_valid_crc_stops_replay(self, tmp_path):
+        import struct
+        import zlib
+
+        path = tmp_path / "wal.rjn"
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            payload = b"not a pickle"
+            journal._fh.write(
+                b"B"
+                + struct.pack(
+                    ">II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+                )
+                + payload
+            )
+        replay = replay_journal(path)
+        assert replay.torn
+        assert replay.batches == [SCRIPT[0]]
+
+
+class TestTornTail:
+    def test_every_truncation_point_of_the_final_record(self, tmp_path):
+        """Crash at any byte of the last write → replay the rest cleanly."""
+        path = tmp_path / "wal.rjn"
+        run_journaled(path)
+        full = path.read_bytes()
+        prefix = replay_journal(path)
+        last_start = None
+        data = full
+        # Recompute record boundaries by walking the clean file.
+        import struct
+
+        pos = len(MAGIC)
+        while pos < len(data):
+            last_start = pos
+            length, _ = struct.unpack_from(">II", data, pos + 1)
+            pos += 1 + 8 + length
+        assert last_start is not None
+        for cut in range(last_start + 1, len(full)):
+            path.write_bytes(full[:cut])
+            replay = replay_journal(path)
+            assert replay.torn
+            assert replay.tail_offset == last_start
+            assert replay.batches == prefix.batches[:-1]
+
+    def test_recover_truncates_torn_tail_and_continues(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        run_journaled(path)
+        full = path.read_bytes()
+        path.write_bytes(full[:-3])  # tear the final record
+        program = parse_program(TC_TEXT)
+        session, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE)
+        )
+        assert replayed == len(SCRIPT) - 1
+        clean = clean_session(SCRIPT[:-1])
+        assert_same_state(session, clean)
+        # The torn tail is gone and the journal accepts new appends.
+        journal.append_batch(*SCRIPT[-1])
+        journal.close()
+        assert replay_journal(path).batches == SCRIPT
+        assert not replay_journal(path).torn
+
+    def test_injected_torn_write_behaves_like_a_crash(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            faults.install(parse_faults("journal:torn:1"))
+            with pytest.raises(FaultInjected, match="torn journal write"):
+                journal.append_batch(*SCRIPT[1])
+            faults.install(None)
+        replay = replay_journal(path)
+        assert replay.torn
+        assert replay.batches == [SCRIPT[0]]
+        program = parse_program(TC_TEXT)
+        session, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE)
+        )
+        journal.close()
+        assert replayed == 1
+        assert_same_state(session, clean_session(SCRIPT[:1]))
+
+
+class TestRecoverSession:
+    def test_recover_matches_clean_run(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        run_journaled(path)
+        program = parse_program(TC_TEXT)
+        session, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE)
+        )
+        journal.close()
+        assert replayed == len(SCRIPT)
+        assert_same_state(session, clean_session())
+
+    def test_recover_from_checkpoint_ignores_history(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        program = parse_program(TC_TEXT)
+        session = IncrementalSession(program, Database.from_dict(BASE))
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            session.apply_batch(inserts=SCRIPT[0][0])
+            journal.append_checkpoint(session.edb)
+            journal.append_batch(*SCRIPT[1])
+            session.apply_batch(
+                inserts=SCRIPT[1][0], deletes=SCRIPT[1][1]
+            )
+        recovered, journal, replayed = recover_session(program, path)
+        journal.close()
+        assert replayed == 1  # only the post-checkpoint batch
+        assert_same_state(recovered, session)
+
+    def test_committed_batch_that_failed_refails_on_replay(self, tmp_path):
+        """A batch journaled but rolled back (abort record lost in the
+        crash) must re-fail deterministically during replay, leaving
+        the recovered state equal to what the client observed.  The
+        failure here is data-driven — a chained-edge batch that blows
+        the round budget — so original run and replay fail alike."""
+        path = tmp_path / "wal.rjn"
+        program = parse_program(TC_TEXT)
+        knobs = dict(max_iterations=10)
+        poison = [("e", (100 + i, 101 + i)) for i in range(25)]
+        session = IncrementalSession(
+            program, Database.from_dict(BASE), **knobs
+        )
+        with Journal(path) as journal:
+            journal.append_batch(*SCRIPT[0])
+            session.apply_batch(inserts=SCRIPT[0][0])
+            # The journal write succeeds (WAL order), then the apply
+            # fails and the crash "loses" the abort record.
+            journal.append_batch(poison, [])
+            with pytest.raises(MaintenanceError):
+                session.apply_batch(inserts=poison)
+        recovered, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE), **knobs
+        )
+        journal.close()
+        assert replayed == 1  # the poisoned batch re-failed and was skipped
+        assert_same_state(recovered, session)
+
+    def test_recover_empty_journal_is_the_base_state(self, tmp_path):
+        path = tmp_path / "wal.rjn"
+        Journal(path).close()
+        program = parse_program(TC_TEXT)
+        session, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE)
+        )
+        journal.close()
+        assert replayed == 0
+        assert_same_state(session, clean_session(batches=[]))
+
+
+class TestRecoveryMatrix:
+    """Replay determinism across the full knob matrix (satellite c)."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("planner", ["greedy", "cost"])
+    @pytest.mark.parametrize("provenance", [False, True])
+    def test_recovered_state_is_bit_identical(
+        self, tmp_path, backend, planner, provenance
+    ):
+        knobs = dict(
+            planner=planner,
+            jobs=2 if backend != "serial" else 1,
+            backend=backend,
+            record_provenance=provenance,
+        )
+        path = tmp_path / "wal.rjn"
+        original = run_journaled(path, **knobs)
+        program = parse_program(TC_TEXT)
+        recovered, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE), **knobs
+        )
+        journal.close()
+        assert replayed == len(SCRIPT)
+        assert_same_state(recovered, original)
+        if provenance:
+            assert recovered._derivations is not None
+
+    @pytest.mark.parametrize("provenance", [False, True])
+    def test_truncated_tail_matrix(self, tmp_path, provenance):
+        """Torn final record + recovery, with and without provenance."""
+        knobs = dict(record_provenance=provenance)
+        path = tmp_path / "wal.rjn"
+        run_journaled(path, **knobs)
+        full = path.read_bytes()
+        path.write_bytes(full[: len(full) // 2 + len(MAGIC)])
+        program = parse_program(TC_TEXT)
+        recovered, journal, replayed = recover_session(
+            program, path, Database.from_dict(BASE), **knobs
+        )
+        journal.close()
+        clean = clean_session(SCRIPT[:replayed], **knobs)
+        assert_same_state(recovered, clean)
