@@ -427,6 +427,157 @@ def run_batch_churn(
     return rows, speedups, ok
 
 
+def run_query(
+    best_of: int, series: Series
+) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
+    """Goal-directed serving vs materialize-then-filter (PR 7).
+
+    ``query/tc_point_*``: one selective bound-first point query
+    ``t(src, Y)`` near the tail of a long chain.  The serving path
+    (:class:`~repro.engine.query.QueryCompiler` — adorn, Magic Sets,
+    factoring where certified, compiled plans) touches only the cone
+    the binding reaches; the baseline pays the full Θ(n²) closure and
+    filters.  Both sides answer from cold; the goal row then re-asks
+    with a shifted constant (``tc_point_warm``) to record what the
+    compiled-form cache buys.
+
+    ``query/pmem_*``: the Example 1.2 membership workload.  ``pmem``'s
+    full IDB is infinite (every list containing a satisfying element),
+    so a materialize-then-filter baseline cannot terminate; the honest
+    baseline is the goal-directed *magic* rewrite without factoring —
+    the paper's own O(n²)-vs-O(n) comparison — evaluated from scratch.
+
+    Answers must agree between every pair of configurations; the run
+    fails otherwise.
+    """
+    from repro.core.pipeline import optimize
+    from repro.engine.query import QueryCompiler
+    from repro.workloads.graphs import chain_edb as _chain_edb
+    from repro.workloads.lists import pmem_edb, pmem_program, pmem_query
+
+    tc_program = parse_program(
+        """
+        t(X, Y) :- e(X, Y).
+        t(X, Y) :- e(X, W), t(W, Y).
+        """
+    )
+    tc_n = scaled(120)
+    source = tc_n - 10  # selective: the goal cone is ~10 nodes of n
+    edb = _chain_edb(tc_n)
+    goal = f"t({source}, Y)"
+
+    best_goal = None
+    best_warm = None
+    for _ in range(best_of):
+        compiler = QueryCompiler(tc_program, jobs=1)
+        answer = compiler.ask(goal, edb)
+        if best_goal is None or answer.stats.seconds < best_goal:
+            best_goal, goal_answer = answer.stats.seconds, answer
+        warm = compiler.ask(f"t({source - 1}, Y)", edb)
+        assert warm.from_cache
+        if best_warm is None or warm.stats.seconds < best_warm:
+            best_warm = warm.stats.seconds
+
+    best_mat = None
+    for _ in range(best_of):
+        full, stats = seminaive_eval(tc_program, edb, jobs=1)
+        if best_mat is None or stats.seconds < best_mat:
+            best_mat, mat_db = stats.seconds, full
+    from repro.datalog.parser import parse_query as _parse_query
+
+    ok = goal_answer.answers == mat_db.query(_parse_query(goal))
+    if not ok:
+        print(
+            "FAIL query/tc_point: goal-directed answers diverged from "
+            "the materialized closure",
+            file=sys.stderr,
+        )
+
+    pmem_n = scaled(60, minimum=10)
+    p_program = pmem_program()
+    p_edb = pmem_edb(pmem_n)
+    p_goal = pmem_query(pmem_n)
+
+    best_pmem = None
+    for _ in range(best_of):
+        compiler = QueryCompiler(p_program, jobs=1)
+        answer = compiler.ask(p_goal, p_edb)
+        if best_pmem is None or answer.stats.seconds < best_pmem:
+            best_pmem, pmem_answer = answer.stats.seconds, answer
+
+    best_magic = None
+    for _ in range(best_of):
+        plan = optimize(p_program, p_goal)
+        magic_answers, stats = plan.evaluate_stage("magic", p_edb, jobs=1)
+        if best_magic is None or stats.seconds < best_magic:
+            best_magic = stats.seconds
+    if pmem_answer.answers != magic_answers:
+        print(
+            "FAIL query/pmem: factored serving answers diverged from "
+            "the magic rewrite",
+            file=sys.stderr,
+        )
+        ok = False
+
+    rows = [
+        {
+            "label": "query/tc_point_goal",
+            "n": tc_n,
+            "facts": goal_answer.stats.facts,
+            "inferences": goal_answer.stats.inferences,
+            "seconds": round(best_goal, 6),
+        },
+        {
+            "label": "query/tc_point_warm",
+            "n": tc_n,
+            "facts": None,
+            "inferences": None,
+            "seconds": round(best_warm, 6),
+        },
+        {
+            "label": "query/tc_point_materialize",
+            "n": tc_n,
+            "facts": mat_db.total_facts(),
+            "inferences": None,
+            "seconds": round(best_mat, 6),
+        },
+        {
+            "label": "query/pmem_goal",
+            "n": pmem_n,
+            "facts": pmem_answer.stats.facts,
+            "inferences": pmem_answer.stats.inferences,
+            "seconds": round(best_pmem, 6),
+        },
+        {
+            "label": "query/pmem_magic",
+            "n": pmem_n,
+            "facts": None,
+            "inferences": None,
+            "seconds": round(best_magic, 6),
+        },
+    ]
+    speedups = {
+        "query/tc_point_goal_vs_materialize": (
+            best_mat / best_goal if best_goal else float("inf")
+        ),
+        "query/tc_point_warm_vs_materialize": (
+            best_mat / best_warm if best_warm else float("inf")
+        ),
+        "query/pmem_factored_vs_magic": (
+            best_magic / best_pmem if best_pmem else float("inf")
+        ),
+    }
+    series.note(
+        f"query: {goal_answer.strategy} point query "
+        f"{speedups['query/tc_point_goal_vs_materialize']:.2f}x vs "
+        f"materialize-then-filter (warm "
+        f"{speedups['query/tc_point_warm_vs_materialize']:.2f}x); pmem "
+        f"{pmem_answer.strategy} "
+        f"{speedups['query/pmem_factored_vs_magic']:.2f}x vs magic rewrite"
+    )
+    return rows, speedups, ok
+
+
 def run(
     best_of: int, only: List[str] | None = None
 ) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
@@ -438,8 +589,11 @@ def run(
     )
     selected = workloads()
     churn_selected = only is None or "churn" in only
+    query_selected = only is None or "query" in only
     if only:
-        unknown = set(only) - {name for name, *_ in selected} - {"churn"}
+        unknown = (
+            set(only) - {name for name, *_ in selected} - {"churn", "query"}
+        )
         if unknown:
             raise SystemExit(f"unknown workloads: {sorted(unknown)}")
         selected = [entry for entry in selected if entry[0] in only]
@@ -537,6 +691,11 @@ def run(
         rows.extend(batch_rows)
         speedups.update(batch_speedups)
         ok = ok and batch_ok
+    if query_selected:
+        query_rows, query_speedups, query_ok = run_query(best_of, series)
+        rows.extend(query_rows)
+        speedups.update(query_speedups)
+        ok = ok and query_ok
     series.show()
     return rows, speedups, ok
 

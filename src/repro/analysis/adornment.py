@@ -50,10 +50,16 @@ def adorned_name(predicate: str, adornment: str) -> str:
 
 
 def split_adorned_name(name: str) -> Tuple[str, Optional[Adornment]]:
-    """Invert :func:`adorned_name`; adornment is ``None`` for plain names."""
+    """Invert :func:`adorned_name`; adornment is ``None`` for plain names.
+
+    The empty adornment (a zero-arity predicate, ``p@``) is valid.
+    User programs cannot contain ``@`` in predicate names (rejected by
+    ``datalog.validate``), so the split is unambiguous for generated
+    names.
+    """
     if ADORN_SEPARATOR in name:
         base, adn = name.rsplit(ADORN_SEPARATOR, 1)
-        if adn and all(ch in "bf" for ch in adn):
+        if base and all(ch in "bf" for ch in adn):
             return base, Adornment(adn)
     return name, None
 
@@ -158,7 +164,9 @@ def _reorder_body(
     return [body[i] for i in order]
 
 
-def adorn(program: Program, goal: Literal) -> AdornedProgram:
+def adorn(
+    program: Program, goal: Literal, adornment: Optional[str] = None
+) -> AdornedProgram:
     """Adorn ``program`` for the query ``goal``.
 
     Returns an :class:`AdornedProgram` whose rules define only the
@@ -166,12 +174,27 @@ def adorn(program: Program, goal: Literal) -> AdornedProgram:
     Rule bodies are reordered by a stable greedy SIP (see
     :func:`_reorder_body`) so that binding passes forward regardless of
     the order the program was written in.
+
+    ``adornment`` overrides the adornment induced by the goal's ground
+    arguments — the query compiler uses this to adorn a *canonical*
+    goal (all-fresh variables) with the binding pattern of the actual
+    query it stands for.
     """
     idb = set(program.idb_signatures)
     if goal.signature not in idb:
         raise ValueError(f"query predicate {goal.signature} is not defined by the program")
 
-    query_adornment = adornment_from_query(goal)
+    if adornment is None:
+        query_adornment = adornment_from_query(goal)
+    else:
+        if len(adornment) != len(goal.args) or any(
+            ch not in "bf" for ch in adornment
+        ):
+            raise ValueError(
+                f"adornment {adornment!r} does not fit goal {goal} "
+                f"(need {len(goal.args)} b/f markers)"
+            )
+        query_adornment = Adornment(adornment)
     worklist: List[Tuple[Signature, Adornment]] = [(goal.signature, query_adornment)]
     seen: Set[Tuple[Signature, Adornment]] = set(worklist)
     adorned_rules: List[Rule] = []

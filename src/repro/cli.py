@@ -5,8 +5,14 @@ Commands
 
 ``classify``   Report rule classification, one-sidedness, separability,
                and factorability for a program + query.
-``optimize``   Print every stage of the optimization pipeline.
+``optimize``   Print every stage of the optimization pipeline;
+               ``--evaluate STAGE`` runs a named stage (original,
+               magic, factored, simplified) over ``--facts``.
 ``run``        Evaluate a query over a program and facts file.
+``query``      Goal-directed serving: compile the query form
+               (adornment + Magic Sets, or counting/factoring where a
+               theorem certifies it) and evaluate it against the facts
+               — the paper's query-serving configuration.
 ``validate``   Lint a program (safety, arities, singletons, ...).
 ``explain``    Print a derivation tree for one ground fact.
 ``serve``      Materialize the program and serve queries under EDB
@@ -83,7 +89,29 @@ def cmd_classify(args) -> int:
 def cmd_optimize(args) -> int:
     program = _load_program(args.program)
     goal = parse_query(args.query)
+    # Resolve the engine knobs up front: a bad --jobs/--backend (or a
+    # stage name evaluate_stage rejects) must fail before any printing
+    # or evaluation, not halfway through.
+    jobs = _checked_jobs(args)
+    backend = _checked_backend(args)
     result = optimize(program, goal)
+    if args.evaluate is not None:
+        edb = _load_edb(args.facts)
+        answers, stats = result.evaluate_stage(
+            args.evaluate,
+            edb,
+            planner=args.planner,
+            jobs=jobs,
+            backend=backend,
+        )
+        _print_answers(answers)
+        print(
+            f"-- stage {args.evaluate}: {len(answers)} answers; "
+            f"{stats.facts} facts, {stats.inferences} inferences, "
+            f"{stats.seconds * 1000:.1f} ms",
+            file=sys.stderr,
+        )
+        return 0
     print("=== adorned ===")
     print(result.adorned.program)
     print("\n=== magic ===")
@@ -130,6 +158,32 @@ def cmd_run(args) -> int:
     print(
         f"-- {len(answers)} answers via {strategy}; {stats.facts} facts, "
         f"{stats.inferences} inferences, {stats.seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.datalog.validate import ensure_no_reserved_names
+    from repro.engine.query import QueryCompiler
+
+    program = _load_program(args.program)
+    ensure_no_reserved_names(program)
+    goal = parse_query(args.query)
+    edb = _load_edb(args.facts)
+    compiler = QueryCompiler(
+        program,
+        planner=args.planner,
+        jobs=_checked_jobs(args),
+        backend=_checked_backend(args),
+    )
+    answer = compiler.ask(goal, edb)
+    _print_answers(answer.values())
+    certified = f" ({answer.certified_by})" if answer.certified_by else ""
+    print(
+        f"-- {len(answer.answers)} answers via {answer.strategy}{certified}; "
+        f"{answer.stats.facts} facts, {answer.stats.inferences} inferences, "
+        f"{answer.stats.seconds * 1000:.1f} ms",
         file=sys.stderr,
     )
     return 0
@@ -218,7 +272,10 @@ class ServeLoop:
                     f"{stats.seconds * 1000:.1f} ms)"
                 )
             elif line.startswith("?"):
-                _print_answers(self.session.query(line[1:].strip()))
+                # Goal-directed: the query form is compiled (adornment
+                # + Magic Sets / counting / factoring) and evaluated
+                # against the EDB only — read-only, never journaled.
+                _print_answers(self.session.query_goal(line[1:].strip()))
             elif line.startswith("explain "):
                 if not self.provenance:
                     raise ValueError("explain needs --provenance")
@@ -413,6 +470,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("query")
     p.add_argument("--trace", action="store_true", help="show deletions")
+    p.add_argument(
+        "--evaluate",
+        default=None,
+        metavar="STAGE",
+        help="evaluate one pipeline stage over --facts instead of "
+        "printing programs: original, magic, factored, or simplified "
+        "(an unknown or unproduced stage fails before evaluation)",
+    )
+    p.add_argument("--facts", help="Datalog file of ground facts")
+    _add_engine_options(p)
     p.set_defaults(func=cmd_optimize)
 
     p = sub.add_parser("run", help="answer a query over a facts file")
@@ -421,6 +488,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--facts", help="Datalog file of ground facts")
     _add_engine_options(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "query",
+        help="goal-directed answers via the compiled serving path",
+    )
+    p.add_argument("program")
+    p.add_argument("query")
+    p.add_argument("--facts", help="Datalog file of ground facts")
+    _add_engine_options(p)
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
         "serve",

@@ -67,10 +67,36 @@ class OptimizationResult:
         db, stats = evaluator(self.best_program(), edb, **kwargs)
         return db.query(self.magic.query_head), stats
 
+    STAGES = ("original", "magic", "factored", "simplified")
+
+    def available_stages(self) -> Tuple[str, ...]:
+        """The stage names :meth:`evaluate_stage` can run for this result."""
+        return tuple(
+            stage
+            for stage in self.STAGES
+            if stage in ("original", "magic") or getattr(self, stage) is not None
+        )
+
     def evaluate_stage(
         self, stage: str, edb: Database, evaluator=seminaive_eval, **kwargs
     ) -> Tuple[Set[Tuple], EvalStats]:
-        """Evaluate a named stage: original | magic | factored | simplified."""
+        """Evaluate a named stage: original | magic | factored | simplified.
+
+        Unknown or unavailable stage names fail *before* any evaluation
+        with the list of valid choices.
+        """
+        if stage not in self.STAGES:
+            raise ValueError(
+                f"unknown stage {stage!r}; valid stages are "
+                f"{', '.join(self.STAGES)}"
+            )
+        available = self.available_stages()
+        if stage not in available:
+            raise ValueError(
+                f"stage {stage!r} was not produced for this query "
+                f"(factoring not certified); available stages are "
+                f"{', '.join(available)}"
+            )
         if stage == "original":
             db, stats = evaluator(self.original, edb, **kwargs)
             return db.query(self.goal), stats
@@ -79,9 +105,7 @@ class OptimizationResult:
             "factored": self.factored.program if self.factored else None,
             "simplified": self.simplified.program if self.simplified else None,
         }
-        program = programs.get(stage)
-        if program is None:
-            raise ValueError(f"stage {stage!r} not available")
+        program = programs[stage]
         db, stats = evaluator(program, edb, **kwargs)
         return db.query(self.magic.query_head), stats
 

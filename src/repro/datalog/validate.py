@@ -63,15 +63,82 @@ class ValidationReport:
         return "\n".join(str(d) for d in self.diagnostics)
 
 
+#: Prefixes of generated predicate names (magic / counting / answer
+#: predicates).  ``@`` (adornment separator) and ``~`` (supplementary
+#: separator) are reserved characters, and ``query`` is the generated
+#: answer predicate — user programs may use none of them, otherwise
+#: ``split_adorned_name`` mis-splits (a user ``p@bf`` would silently
+#: collide with the adorned version of ``p``) and rewrites can capture
+#: or shadow user relations.
+RESERVED_PREFIXES = ("m_", "cnt_", "ans_")
+RESERVED_CHARACTERS = ("@", "~")
+RESERVED_NAMES = ("query",)
+
+
+def reserved_name_reason(predicate: str) -> Optional[str]:
+    """Why ``predicate`` is reserved for generated code, or ``None``."""
+    for ch in RESERVED_CHARACTERS:
+        if ch in predicate:
+            return (
+                f"contains {ch!r}, the separator used by generated "
+                "(adorned/magic/supplementary) predicate names"
+            )
+    for prefix in RESERVED_PREFIXES:
+        if predicate.startswith(prefix):
+            return (
+                f"starts with {prefix!r}, the prefix used by generated "
+                "(magic/counting) predicate names"
+            )
+    if predicate in RESERVED_NAMES:
+        return "is the generated answer predicate of the magic rewrite"
+    return None
+
+
+def ensure_no_reserved_names(program: Program) -> None:
+    """Raise ``ValueError`` if the program uses a reserved predicate name.
+
+    The parser itself accepts these names (the test suite and the
+    inspector parse *generated* programs back in); user-facing entry
+    points call this before handing a program to the optimizer.
+    """
+    report = ValidationReport()
+    _check_reserved_names(program, report)
+    report.raise_on_error()
+
+
 def validate_program(program: Program) -> ValidationReport:
     """Run every static check; see the individual ``_check_*`` passes."""
     report = ValidationReport()
+    _check_reserved_names(program, report)
     _check_safety(program, report)
     _check_arities(program, report)
     _check_unused_body_predicates(program, report)
     _check_trivial_cycles(program, report)
     _check_singleton_variables(program, report)
     return report
+
+
+def _check_reserved_names(program: Program, report: ValidationReport) -> None:
+    """Reject predicate names that collide with generated predicates."""
+    flagged: Set[str] = set()
+    for rule in program.rules:
+        for literal in (rule.head, *rule.body):
+            predicate = literal.predicate
+            if predicate in flagged:
+                continue
+            reason = reserved_name_reason(predicate)
+            if reason is not None:
+                flagged.add(predicate)
+                report.diagnostics.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "reserved-name",
+                        f"predicate {predicate!r} {reason}; rename it — "
+                        "these names are reserved for the optimizer's "
+                        "rewrites",
+                        rule,
+                    )
+                )
 
 
 def _check_safety(program: Program, report: ValidationReport) -> None:

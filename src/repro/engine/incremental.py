@@ -174,6 +174,9 @@ class IncrementalSession:
         self._edb = edb.copy() if edb is not None else Database()
         self._edb_keys = EdbKeyView(self._edb)
         self._cache: Optional[PlanCache] = None
+        self.jobs = jobs
+        self.backend = backend
+        self._query_compiler = None
 
         # Component structure (shared with the evaluators): tasks in
         # topological evaluation order, and the owning task per IDB sig.
@@ -254,6 +257,50 @@ class IncrementalSession:
         """True when a ground query holds in the materialized database."""
         return bool(self.query(query))
 
+    @property
+    def query_compiler(self):
+        """The goal-directed compiler over this session's program.
+
+        Built lazily on the first :meth:`query_goal`; compiled entries
+        are cached per query form and invalidated by
+        :meth:`apply_batch` (see
+        :meth:`repro.engine.query.QueryCompiler.note_edb_change`).
+        """
+        if self._query_compiler is None:
+            from repro.engine.query import QueryCompiler
+
+            self._query_compiler = QueryCompiler(
+                self.program,
+                planner=self.planner,
+                jobs=self.jobs,
+                backend=self.backend,
+                use_plans=self.use_plans,
+                max_iterations=self.max_iterations,
+                max_facts=self.max_facts,
+                max_seconds=self.max_seconds,
+            )
+        return self._query_compiler
+
+    def query_goal(self, query: Union[str, Literal], explain: bool = False):
+        """Goal-directed answers evaluated against the maintained EDB.
+
+        Unlike :meth:`query` (a read of the materialized database),
+        this compiles the goal through adornment + Magic Sets (or
+        counting/factoring where certified) and evaluates the rewritten
+        program with compiled plans against the *EDB only* — the
+        serving path for point queries that must not depend on (or pay
+        for) full materialization.  Read-only: neither the database nor
+        the journal is touched.  Returns unwrapped value tuples like
+        :meth:`query`; with ``explain=True`` returns the full
+        :class:`~repro.engine.query.QueryAnswer` (strategy, certifying
+        theorem, statistics, cache hit).
+        """
+        goal = parse_query(query) if isinstance(query, str) else query
+        answer = self.query_compiler.ask(goal, self._edb)
+        if explain:
+            return answer
+        return answer.values()
+
     def explain(self, fact: Union[str, Literal]) -> DerivationTree:
         """A derivation tree for a ground fact (provenance mode only)."""
         if self._derivations is None:
@@ -284,8 +331,16 @@ class IncrementalSession:
             ]
         else:
             pairs = list(facts)
+        # Imported here: validate -> analysis -> engine at module scope.
+        from repro.datalog.validate import reserved_name_reason
+
         out: Dict[Signature, List[FactTuple]] = {}
         for pred, args in pairs:
+            reason = reserved_name_reason(pred)
+            if reason is not None:
+                raise ValueError(
+                    f"cannot update predicate {pred!r}: it {reason}"
+                )
             wrapped = _wrap(args)
             out.setdefault((pred, len(wrapped)), []).append(wrapped)
         return out
@@ -368,6 +423,10 @@ class IncrementalSession:
             self._deadline = None
         pass_stats.seconds = time.perf_counter() - start
         self.stats.absorb(pass_stats)
+        if self._query_compiler is not None:
+            # A failed batch rolled back to the pre-batch EDB, so only a
+            # successful one invalidates cached goal-directed compiles.
+            self._query_compiler.note_edb_change()
         return pass_stats
 
     def _apply_deletes(

@@ -1,0 +1,632 @@
+"""Goal-directed query serving: the paper's transforms on the modern engine.
+
+The transforms (adornment, Magic Sets, counting, factoring) historically
+ran only through :func:`repro.core.pipeline.optimize` plus a
+from-scratch ``seminaive_eval``.  :class:`QueryCompiler` is the serving
+path: it compiles one rewritten program per **query form** — a
+``(predicate, arity, adornment)`` triple — and evaluates it with
+compiled :class:`~repro.engine.plan.RulePlan`s through the
+:class:`~repro.engine.scheduler.SCCScheduler` against a caller-supplied
+EDB, so point queries stop paying for full materialization.
+
+**Canonical compilation.**  The compiled program must be reusable
+across query constants (``t(5, Y)`` and ``t(7, Y)`` share a form), so
+the compiler adorns a *canonical* goal — all-fresh variables, adorned
+with the actual query's binding pattern via ``adorn(..., adornment=)``
+— and applies the rewrites with ``include_seed=False``.  At query time
+the seed (``m_p@ad(x̄0)``, or ``cnt_p@ad(x̄0, [])`` for counting) is
+injected as a plain database *fact* carrying the actual constants, the
+scheduler runs the rewritten program into a throwaway overlay database
+that shares the EDB relations by reference (reads only — generated
+predicate names cannot collide with validated user programs), and the
+answers are read off the generated ``query`` head.  Constant-dependent
+simplifications still fire: Proposition 5.2 (anonymous-variable
+deletion) performs on the canonical seed variable exactly the deletion
+Proposition 5.3 performs on a seed constant.
+
+**Strategy selection** mirrors ``optimize`` and Section 6.4:
+
+* **factored** — classification succeeded and a Section 4/5 theorem
+  certifies factorability for a nontrivial adornment of the recursive
+  goal predicate: factor the magic program and simplify.
+* **counting** — classification certifies a right-linear unit program
+  with at least one bound position and the refined counting program has
+  no syntactic self-loop: evaluate the counting rewrite under a
+  data-sized budget, falling back to magic (and remembering the
+  divergence until the next invalidation) if it still diverges on
+  cyclic data.
+* **magic** — everything else that is goal-directed at all.
+* **edb** — the goal is not an IDB predicate: answer straight from the
+  EDB relation.
+* **materialize** — base facts were asserted for IDB predicates (mixed
+  predicates an upper layer did not bridge): the rewrites would miss
+  them, so fall back to full evaluation plus filtering.
+
+**Answers.**  Repeated variables and partially-ground (function-term)
+goal arguments are handled by *post-filtering*: the compiled program
+answers the canonical goal, each row is rebuilt into a full-arity tuple
+and matched against the actual goal — exactly
+:meth:`repro.engine.database.Database.query` semantics, including
+``{()}``/``set()`` for ground goals.  The plain-magic program's
+``query`` head spans *all* canonical variables (not just the free
+ones): magic evaluation also derives goal-predicate facts for the
+*other* bound values its subqueries reached, and only the full-row
+match keeps them out of the answer set.  The factored and counting
+heads stay free-only — their answer relations are pinned to the seed
+by the theorem certificate, resp. the ``NIL`` index term.
+
+**Invalidation.**  Compiled entries persist their plan caches across
+queries (the cost planner already re-plans on >4x cardinality drift).
+The entry itself is recompiled when the referenced EDB relations drift
+past the same 4x factor (:data:`DRIFT_FACTOR`), and
+:meth:`QueryCompiler.note_edb_change` — called by
+:meth:`~repro.engine.incremental.IncrementalSession.apply_batch` after
+every successful maintenance batch — drops instance-certified entries
+(their factorability proof read the old EDB) and clears remembered
+counting divergences (the new data may terminate).
+:meth:`QueryCompiler.invalidate` drops everything (rule changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.analysis.adornment import (
+    Adornment,
+    adorn,
+    adornment_from_query,
+    split_adorned_name,
+)
+from repro.analysis.classify import ProgramClassification, RuleClass, classify_program
+from repro.core.factoring import factor_magic
+from repro.core.simplify import simplify_factored
+from repro.core.theorems import FactorabilityReport, check_factorability
+from repro.datalog.literals import Literal
+from repro.datalog.parser import parse_query
+from repro.datalog.program import Program
+from repro.datalog.terms import NIL, Term, Variable
+from repro.datalog.validate import ensure_no_reserved_names
+from repro.engine.database import Database
+from repro.engine.plan import PlanCache
+from repro.engine.scheduler import SCCScheduler
+from repro.engine.seminaive import seminaive_eval
+from repro.engine.stats import EvalStats, NonTerminationError
+from repro.datalog.rules import Rule
+from repro.engine.unify import match
+from repro.transforms.counting import counting, counting_diverges, refine_counting
+from repro.transforms.magic import QUERY_PREDICATE, magic_sets
+
+Signature = Tuple[str, int]
+QueryKey = Tuple[str, int, str]
+
+#: Recompile a cached entry when a referenced EDB relation's cardinality
+#: drifts past this factor (matches the plan cache's re-planning rule).
+DRIFT_FACTOR = 4.0
+
+
+@dataclass
+class QueryAnswer:
+    """One served query: the answers and how they were computed.
+
+    ``answers`` are raw :class:`~repro.datalog.terms.Term` tuples over
+    the goal's variables in first-occurrence order (``{()}``/``set()``
+    for ground goals) — the same shape ``Database.query`` returns;
+    callers unwrap constants as needed.  ``strategy`` is one of
+    ``factored``/``counting``/``magic``/``edb``/``materialize`` (with
+    ``counting->magic`` marking a dynamic-divergence fallback), and
+    ``from_cache`` reports whether the compiled entry was reused.
+    """
+
+    goal: Literal
+    answers: Set[Tuple[Term, ...]]
+    strategy: str
+    certified_by: Optional[str]
+    stats: EvalStats
+    from_cache: bool
+
+    def values(self) -> Set[Tuple]:
+        """Answers with constants unwrapped to plain Python values."""
+        from repro.datalog.terms import Constant
+
+        return {
+            tuple(t.value if isinstance(t, Constant) else t for t in row)
+            for row in self.answers
+        }
+
+
+def _recursive_adorned_predicate(adorned) -> Optional[str]:
+    """The single recursive adorned predicate, if any (as in pipeline)."""
+    from repro.analysis.dependency import DependencyGraph
+
+    graph = DependencyGraph(adorned.program)
+    recursive = {
+        sig
+        for sig in graph.recursive_signatures()
+        if adorned.program.is_idb(sig)
+    }
+    if len(recursive) != 1:
+        return None
+    return next(iter(recursive))[0]
+
+
+class CompiledQuery:
+    """One query form compiled to a rewritten program plus its scheduler.
+
+    Owns a persistent :class:`~repro.engine.plan.PlanCache`, so repeated
+    queries of the same form reuse compiled rule plans (the cost planner
+    re-plans inside the cache on cardinality drift).
+    """
+
+    def __init__(
+        self,
+        compiler: "QueryCompiler",
+        predicate: str,
+        arity: int,
+        adornment: Adornment,
+        edb: Database,
+    ):
+        self.compiler = compiler
+        self.predicate = predicate
+        self.arity = arity
+        self.adornment = adornment
+        self.instance_certified = False
+        self.counting_diverged = False
+        self.certified_by: Optional[str] = None
+        #: cardinalities of referenced EDB relations at compile time
+        self.edb_sizes: Dict[Signature, int] = {}
+
+        program = compiler.program
+        canonical = Literal(
+            predicate, tuple(Variable(f"Qv{i}") for i in range(arity))
+        )
+        self.adorned = adorn(program, canonical, adornment=str(adornment))
+        self.magic = magic_sets(self.adorned, include_seed=False)
+        self.classification: Optional[ProgramClassification] = None
+        self.report: Optional[FactorabilityReport] = None
+
+        recursive_predicate = _recursive_adorned_predicate(self.adorned)
+        if recursive_predicate is not None:
+            base, adn = split_adorned_name(recursive_predicate)
+            self.classification = classify_program(
+                self.adorned.program, recursive_predicate, adn
+            )
+            if self.classification.ok:
+                instance_edb = edb if compiler.use_instance_checks else None
+                self.report = check_factorability(
+                    self.classification, instance_edb
+                )
+
+        nontrivial = bool(adornment.bound_positions()) and bool(
+            adornment.free_positions()
+        )
+        # The plain-magic program must not use the paper's free-only
+        # query rule here: with the seed omitted the canonical bound
+        # variables are unconstrained in ``query(free) :- p@ad(Qv...)``,
+        # and magic evaluation derives ``p@ad`` facts for *other* magic
+        # values (subquery bindings) that must not surface as answers
+        # for the actual seed.  The serving query head therefore carries
+        # every canonical variable and ``_project`` matches whole rows
+        # against the actual goal.  The factored and counting rewrites
+        # constrain answers to the seed themselves (the theorem
+        # certificate, resp. the ``NIL`` index term) and keep the
+        # free-only head.
+        self._magic_program, self._magic_query_head = self._full_head_magic(
+            canonical
+        )
+        free_positions = tuple(adornment.free_positions())
+        self.strategy = "magic"
+        self.program = self._magic_program
+        self.query_head = self._magic_query_head
+        self.row_positions: Tuple[int, ...] = tuple(range(arity))
+        self.seed = self.magic.seed
+        self.counting_result = None
+
+        if (
+            self.report is not None
+            and self.report.factorable
+            and nontrivial
+            and self.magic.goal.predicate == recursive_predicate
+        ):
+            factored = factor_magic(self.magic)
+            simplified, _ = simplify_factored(factored)
+            self.strategy = "factored"
+            self.program = simplified.program
+            self.query_head = self.magic.query_head
+            self.row_positions = free_positions
+            self.certified_by = self.report.certified_by
+            self.instance_certified = compiler.use_instance_checks
+        elif self._counting_applies(adornment):
+            self.strategy = "counting"
+            self.row_positions = free_positions
+            self.certified_by = "Section 6.4 (counting)"
+
+        self.scheduler = self._make_scheduler(self.program)
+        #: Lazily built magic scheduler for the counting fallback.
+        self._magic_scheduler: Optional[SCCScheduler] = None
+
+        self._snapshot_edb_sizes(edb)
+
+    # -- compilation helpers ------------------------------------------
+
+    def _full_head_magic(self, canonical: Literal) -> Tuple[Program, Literal]:
+        """The magic program with ``query`` spanning all canonical vars.
+
+        Only the answer rule changes; every magic/modified rule is
+        shared with :attr:`magic` (which factoring consumes with the
+        paper's free-only head).
+        """
+        full_head = Literal(QUERY_PREDICATE, canonical.args)
+        rules = [
+            Rule(full_head, rule.body)
+            if rule.head.predicate == QUERY_PREDICATE
+            else rule
+            for rule in self.magic.program.rules
+        ]
+        return Program(rules), full_head
+
+    def _counting_applies(self, adornment: Adornment) -> bool:
+        """Counting: certified right-linear unit program, some binding.
+
+        The syntactically divergent case (a left-linear self-loop,
+        Section 6.4) is rejected here; dynamic divergence on cyclic
+        data is handled by the evaluation budget and the magic
+        fallback.
+        """
+        if self.classification is None or not self.classification.ok:
+            return False
+        if not adornment.bound_positions():
+            return False
+        if any(
+            rc.rule_class not in (RuleClass.EXIT, RuleClass.RIGHT_LINEAR)
+            for rc in self.classification.rules
+        ):
+            return False
+        try:
+            result = refine_counting(
+                counting(self.adorned, include_seed=False)
+            )
+        except ValueError:  # not a unit program
+            return False
+        if counting_diverges(result):
+            return False
+        self.counting_result = result
+        self.program = result.program
+        self.query_head = result.query_head
+        self.seed = result.seed
+        return True
+
+    def _make_scheduler(self, program: Program) -> SCCScheduler:
+        c = self.compiler
+        return SCCScheduler(
+            program,
+            mode="seminaive",
+            use_plans=c.use_plans,
+            planner=c.planner,
+            jobs=c.jobs,
+            backend=c.backend,
+            max_iterations=c.max_iterations,
+            max_facts=c.max_facts,
+            max_seconds=c.max_seconds,
+            cache=PlanCache(c.planner or "greedy") if c.use_plans else None,
+        )
+
+    def _snapshot_edb_sizes(self, edb: Database) -> None:
+        self.edb_sizes = {
+            sig: len(rel)
+            for sig, rel in edb.relations.items()
+            if sig not in self.compiler.idb_signatures
+        }
+
+    def drifted(self, edb: Database) -> bool:
+        """True when the EDB moved far enough to warrant a recompile."""
+        for sig, rel in edb.relations.items():
+            if sig in self.compiler.idb_signatures:
+                continue
+            old = self.edb_sizes.get(sig, 0)
+            new = len(rel)
+            lo, hi = min(old, new), max(old, new)
+            if hi >= 8 and (lo == 0 or hi / lo > DRIFT_FACTOR):
+                return True
+        return False
+
+    # -- evaluation ---------------------------------------------------
+
+    def ask(self, goal: Literal, edb: Database, stats: EvalStats) -> Set[Tuple[Term, ...]]:
+        """Evaluate the compiled program for one concrete goal."""
+        bound_args = tuple(
+            goal.args[i] for i in self.adornment.bound_positions()
+        )
+        if self.strategy == "counting" and not self.counting_diverged:
+            scheduler = self.scheduler
+            budget_iterations, budget_facts = self._counting_budget(edb)
+            saved = (scheduler.max_iterations, scheduler.max_facts)
+            scheduler.max_iterations = budget_iterations
+            scheduler.max_facts = budget_facts
+            try:
+                raw = self._run(
+                    scheduler,
+                    self.seed.predicate,
+                    (*bound_args, NIL),
+                    self.counting_result.query_head,
+                    edb,
+                    stats,
+                )
+                return self._project(goal, raw, self.row_positions)
+            except NonTerminationError:
+                # Cyclic data: remember until the next EDB change and
+                # serve this (and subsequent) queries via magic.
+                self.counting_diverged = True
+            finally:
+                scheduler.max_iterations, scheduler.max_facts = saved
+        if self.strategy == "counting":
+            if self._magic_scheduler is None:
+                self._magic_scheduler = self._make_scheduler(self._magic_program)
+            raw = self._run(
+                self._magic_scheduler,
+                self.magic.seed.predicate,
+                bound_args,
+                self._magic_query_head,
+                edb,
+                stats,
+            )
+            return self._project(goal, raw, tuple(range(self.arity)))
+        raw = self._run(
+            self.scheduler,
+            self.seed.predicate,
+            bound_args,
+            self.query_head,
+            edb,
+            stats,
+        )
+        return self._project(goal, raw, self.row_positions)
+
+    def effective_strategy(self) -> str:
+        if self.strategy == "counting" and self.counting_diverged:
+            return "counting->magic"
+        return self.strategy
+
+    def _counting_budget(self, edb: Database) -> Tuple[Optional[int], Optional[int]]:
+        """Data-sized budgets that trip quickly on divergent index growth.
+
+        User-supplied budgets (``max_iterations``/``max_facts`` on the
+        compiler) take precedence; otherwise the path-term depth cannot
+        usefully exceed the EDB size on terminating data, so a small
+        multiple of it bounds both dimensions.
+        """
+        c = self.compiler
+        total = sum(
+            len(rel)
+            for sig, rel in edb.relations.items()
+            if sig not in c.idb_signatures
+        )
+        iterations = c.max_iterations
+        if iterations is None:
+            iterations = max(100, 2 * total + 10)
+        facts = c.max_facts
+        if facts is None:
+            facts = max(1000, 20 * total)
+        return iterations, facts
+
+    def _run(
+        self,
+        scheduler: SCCScheduler,
+        seed_predicate: str,
+        seed_args: Tuple[Term, ...],
+        query_head: Literal,
+        edb: Database,
+        stats: EvalStats,
+    ) -> Set[Tuple[Term, ...]]:
+        """One scheduler pass into a throwaway overlay database.
+
+        The overlay shares the EDB relation objects by reference — the
+        rewritten program only ever writes generated-name relations, so
+        the shared relations are read-only here (their lazily built
+        hash indexes persist across queries, which is the point).
+        """
+        db = Database()
+        db.relations.update(edb.relations)
+        db.add_fact(seed_predicate, seed_args)
+        scheduler.run(db, stats)
+        return db.query(query_head)
+
+    def _project(
+        self,
+        goal: Literal,
+        raw: Set[Tuple[Term, ...]],
+        row_positions: Tuple[int, ...],
+    ) -> Set[Tuple[Term, ...]]:
+        """Rebuild full-arity tuples and match them against the goal.
+
+        ``raw`` rows bind the canonical variables at ``row_positions``
+        in order — every position for the plain-magic head, the free
+        positions for the factored/counting heads (whose bound slots
+        are pinned to the seed by construction and filled from the
+        actual goal here).  The match step implements repeated
+        variables, partially-ground function terms, *and* the bound
+        filter for magic rows, exactly like ``Database.query``.
+        """
+        bound_pos = self.adornment.bound_positions()
+        goal_vars = goal.variables()
+        answers: Set[Tuple[Term, ...]] = set()
+        for row in raw:
+            full: List[Optional[Term]] = [None] * self.arity
+            for i in bound_pos:
+                full[i] = goal.args[i]
+            for value, i in zip(row, row_positions):
+                full[i] = value
+            bindings = match(goal, tuple(full), {})
+            if bindings is not None:
+                answers.add(tuple(bindings[v] for v in goal_vars))
+        return answers
+
+
+class QueryCompiler:
+    """Per-query goal-directed evaluation with a compiled-program cache.
+
+    ::
+
+        compiler = QueryCompiler(program, planner="cost")
+        answer = compiler.ask("t(5, Y)", edb)
+        answer.answers        # raw Term tuples
+        answer.strategy       # "factored" | "counting" | "magic" | ...
+
+    ``planner``/``jobs``/``backend``/``use_plans`` mirror the evaluator
+    knobs; ``use_instance_checks`` enables instance-level (EDB-reading)
+    factorability certification, in which case entries are invalidated
+    on every EDB change (:meth:`note_edb_change`).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        planner: Optional[str] = None,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        use_plans: bool = True,
+        use_instance_checks: bool = False,
+        max_iterations: Optional[int] = None,
+        max_facts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ):
+        ensure_no_reserved_names(program)
+        self.program = program
+        self.idb_signatures = frozenset(program.idb_signatures)
+        self.planner = planner
+        self.jobs = jobs
+        self.backend = backend
+        self.use_plans = use_plans
+        self.use_instance_checks = use_instance_checks
+        self.max_iterations = max_iterations
+        self.max_facts = max_facts
+        self.max_seconds = max_seconds
+        self._entries: Dict[QueryKey, CompiledQuery] = {}
+        self.compiles = 0
+        self.cache_hits = 0
+
+    # -- cache maintenance --------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every compiled entry (the program changed)."""
+        self._entries.clear()
+
+    def note_edb_change(self) -> None:
+        """The EDB was mutated (a maintenance batch was applied).
+
+        Instance-certified entries are dropped — their factorability
+        proof read the old EDB.  Remembered counting divergences are
+        cleared: deletions may have broken the cycle.  Cardinality
+        drift is re-checked lazily on the next :meth:`ask`, and the
+        plan caches re-plan on drift by themselves.
+        """
+        for key in [
+            k for k, e in self._entries.items() if e.instance_certified
+        ]:
+            del self._entries[key]
+        for entry in self._entries.values():
+            entry.counting_diverged = False
+
+    # -- serving ------------------------------------------------------
+
+    def ask(self, goal: Union[str, Literal], edb: Database) -> QueryAnswer:
+        """Answer ``goal`` against ``edb`` through the compiled path."""
+        import time
+
+        if isinstance(goal, str):
+            goal = parse_query(goal)
+        stats = EvalStats()
+        begin = time.perf_counter()
+        if goal.signature not in self.idb_signatures:
+            if any(name == goal.predicate for name, _ in self.idb_signatures):
+                arities = sorted(
+                    a for name, a in self.idb_signatures
+                    if name == goal.predicate
+                )
+                raise ValueError(
+                    f"query predicate {goal.predicate}/{goal.arity} is not "
+                    f"defined by the program ({goal.predicate} has "
+                    f"arity {', '.join(map(str, arities))})"
+                )
+            answers = edb.query(goal)
+            stats.seconds = time.perf_counter() - begin
+            return QueryAnswer(
+                goal=goal,
+                answers=answers,
+                strategy="edb",
+                certified_by=None,
+                stats=stats,
+                from_cache=False,
+            )
+        overlap = [
+            sig
+            for sig in self.idb_signatures
+            if (rel := edb.relations.get(sig)) is not None and len(rel)
+        ]
+        if overlap:
+            # Base facts asserted for derived predicates: the renamed
+            # rewrite would miss them.  Correctness first — evaluate in
+            # full and filter (upper layers bridge this case away).
+            db, eval_stats = seminaive_eval(
+                self.program,
+                edb,
+                use_plans=self.use_plans,
+                planner=self.planner,
+                jobs=self.jobs,
+                backend=self.backend,
+                max_iterations=self.max_iterations,
+                max_facts=self.max_facts,
+                max_seconds=self.max_seconds,
+            )
+            stats.absorb(eval_stats)
+            answers = db.query(goal)
+            stats.seconds = time.perf_counter() - begin
+            return QueryAnswer(
+                goal=goal,
+                answers=answers,
+                strategy="materialize",
+                certified_by=None,
+                stats=stats,
+                from_cache=False,
+            )
+        adornment = adornment_from_query(goal)
+        key: QueryKey = (goal.predicate, goal.arity, str(adornment))
+        entry = self._entries.get(key)
+        from_cache = entry is not None
+        if entry is not None and entry.drifted(edb):
+            entry = None
+            from_cache = False
+        try:
+            if entry is None:
+                entry = CompiledQuery(
+                    self, goal.predicate, goal.arity, adornment, edb
+                )
+                self._entries[key] = entry
+                self.compiles += 1
+            else:
+                self.cache_hits += 1
+            answers = entry.ask(goal, edb, stats)
+        except ValueError as exc:
+            # An unsafe rewrite (e.g. ``pmem(1, L)`` or a variable left
+            # inside a partially-ground list argument) means the answer
+            # set is not finitely enumerable for this binding pattern.
+            # Report that in terms of the user's goal, not the
+            # generated rule that tripped the range-restriction check.
+            if "range-restricted" in str(exc):
+                raise ValueError(
+                    f"goal {goal} is not answerable with this binding "
+                    f"pattern: a goal variable (often one left inside a "
+                    f"partially-ground list or function argument) would "
+                    f"range over infinitely many values; bind that "
+                    f"argument fully or query a finite form"
+                ) from exc
+            raise
+        stats.seconds = time.perf_counter() - begin
+        return QueryAnswer(
+            goal=goal,
+            answers=answers,
+            strategy=entry.effective_strategy(),
+            certified_by=entry.certified_by,
+            stats=stats,
+            from_cache=from_cache,
+        )

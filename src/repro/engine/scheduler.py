@@ -221,6 +221,7 @@ class SCCScheduler:
         max_facts: Optional[int] = None,
         max_seconds: Optional[float] = None,
         recorder=None,
+        cache: Optional[PlanCache] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -234,6 +235,11 @@ class SCCScheduler:
         self.max_facts = max_facts
         self.max_seconds = resolve_timeout(max_seconds)
         self.recorder = recorder
+        #: Optional shared plan cache: when set, sequential component
+        #: runs compile into it instead of one private cache per run,
+        #: so repeated evaluations of the same program (the per-query
+        #: serving path) reuse compiled plans across calls.
+        self.cache = cache if use_plans else None
 
         self.graph = DependencyGraph(program)
         rules_by_head: Dict[Signature, List[Rule]] = {}
@@ -284,6 +290,7 @@ class SCCScheduler:
             max_seconds=self.max_seconds,
             recorder=recorder,
             fact_base=fact_base,
+            cache=self.cache,
         )
 
     def run(self, db: Database, stats: EvalStats) -> None:

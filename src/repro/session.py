@@ -29,8 +29,10 @@ from repro.datalog.parser import parse_program, parse_query
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.validate import ensure_no_reserved_names, reserved_name_reason
 from repro.engine.database import Database
 from repro.engine.incremental import IncrementalSession
+from repro.engine.query import QueryCompiler
 from repro.engine.seminaive import seminaive_eval
 from repro.engine.stats import EvalStats
 
@@ -40,7 +42,7 @@ class QueryReport:
     """What `ask` did: the plan used and the evaluation cost."""
 
     goal: Literal
-    strategy: str  # "factored" | "magic"
+    strategy: str  # "factored" | "counting" | "magic" | "edb" | "materialize"
     certified_by: Optional[str]
     stats: EvalStats
     answers: Set[Tuple]
@@ -78,8 +80,15 @@ class DeductiveDatabase:
         self._rules: List = []
         self._program: Optional[Program] = None
         self._edb = Database()
-        #: plan cache keyed by (predicate, arity, adornment string)
+        #: legacy-pipeline plan cache keyed by (predicate, arity,
+        #: adornment string) — serves the introspection surface
+        #: (:meth:`compiled_program` / :meth:`plan_summary`)
         self._plans: Dict[Tuple[str, int, str], OptimizationResult] = {}
+        #: the goal-directed serving path behind :meth:`ask`, built
+        #: lazily over the effective (bridged) program and dropped on
+        #: every mutation
+        self._compiler: Optional[QueryCompiler] = None
+        self._compiler_edb: Optional[Database] = None
         self._use_instance_checks = use_instance_checks
         self._planner = planner
         self._jobs = jobs
@@ -92,8 +101,15 @@ class DeductiveDatabase:
     # ------------------------------------------------------------------
 
     def rules(self, text: str) -> "DeductiveDatabase":
-        """Add rules (Datalog text).  Ground facts load into the EDB."""
+        """Add rules (Datalog text).  Ground facts load into the EDB.
+
+        Predicate names reserved for generated code (``@``/``~``
+        anywhere, the ``m_``/``cnt_``/``ans_`` prefixes, ``query``)
+        are rejected with :class:`ValueError` — they would collide
+        with the optimizer's rewrites.
+        """
         program = parse_program(text)
+        ensure_no_reserved_names(program)
         for rule in program.rules:
             if rule.is_fact():
                 self._edb.relation(
@@ -103,15 +119,31 @@ class DeductiveDatabase:
                 self._rules.append(rule)
         self._program = None
         self._plans.clear()
+        self._invalidate_compiler()
         return self
+
+    def _invalidate_compiler(self) -> None:
+        self._compiler = None
+        self._compiler_edb = None
+
+    def _check_fact_predicate(self, predicate: str) -> None:
+        reason = reserved_name_reason(predicate)
+        if reason is not None:
+            raise ValueError(
+                f"cannot assert facts for predicate {predicate!r}: it {reason}"
+            )
 
     def fact(self, predicate: str, *args) -> "DeductiveDatabase":
         """Assert one EDB fact; plain Python values are accepted."""
+        self._check_fact_predicate(predicate)
         self._edb.add_fact(predicate, args)
+        self._invalidate_compiler()
         return self
 
     def facts(self, predicate: str, rows: Iterable[Sequence]) -> "DeductiveDatabase":
+        self._check_fact_predicate(predicate)
         self._edb.add_facts(predicate, rows)
+        self._invalidate_compiler()
         return self
 
     @property
@@ -191,34 +223,51 @@ class DeductiveDatabase:
         """
         return plan.goal != goal
 
+    def _serving_compiler(self) -> Tuple[QueryCompiler, Database]:
+        """The goal-directed compiler over the effective program.
+
+        Compiled query forms live as long as neither the rules nor the
+        facts change (mutations call :meth:`_invalidate_compiler`), so
+        repeated queries with different constants reuse the rewritten
+        program *and* its compiled rule plans.
+        """
+        if self._compiler is None:
+            program, edb_view = self._effective()
+            self._compiler = QueryCompiler(
+                program,
+                planner=self._planner,
+                jobs=self._jobs,
+                backend=self._backend,
+                use_plans=self._use_plans,
+                use_instance_checks=self._use_instance_checks,
+                max_seconds=self._max_seconds,
+            )
+            self._compiler_edb = edb_view
+        return self._compiler, self._compiler_edb
+
     def ask(self, query: str, explain: bool = False):
         """Answer a query, e.g. ``db.ask("reach(1, Y)")``.
 
-        Returns a set of tuples of Python values (one per variable, in
-        first-occurrence order), or a :class:`QueryReport` with the
-        plan and statistics when ``explain=True``.
+        Queries run through the goal-directed serving path
+        (:class:`~repro.engine.query.QueryCompiler`): adornment, Magic
+        Sets — counting or factoring where certified — compiled into
+        rule plans and evaluated by the SCC scheduler against the
+        stored facts only.  Returns a set of tuples of Python values
+        (one per variable, in first-occurrence order), or a
+        :class:`QueryReport` with the plan and statistics when
+        ``explain=True``.
         """
         goal = parse_query(query)
-        plan = self._plan(goal)
-        _, edb_view = self._effective()
-        answers, stats = plan.answers(
-            edb_view,
-            planner=self._planner,
-            jobs=self._jobs,
-            backend=self._backend,
-            use_plans=self._use_plans,
-        )
-        unwrapped = {
-            tuple(t.value if isinstance(t, Constant) else t for t in row)
-            for row in answers
-        }
+        compiler, edb_view = self._serving_compiler()
+        answer = compiler.ask(goal, edb_view)
+        unwrapped = answer.values()
         if not explain:
             return unwrapped
         return QueryReport(
             goal=goal,
-            strategy="factored" if plan.simplified is not None else "magic",
-            certified_by=plan.report.certified_by if plan.report else None,
-            stats=stats,
+            strategy=answer.strategy,
+            certified_by=answer.certified_by,
+            stats=answer.stats,
             answers=unwrapped,
         )
 

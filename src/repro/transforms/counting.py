@@ -86,11 +86,15 @@ class CountingResult:
         return db.query(self.query_head)
 
 
-def counting(adorned: AdornedProgram) -> CountingResult:
+def counting(adorned: AdornedProgram, include_seed: bool = True) -> CountingResult:
     """Apply the Counting transformation to an adorned unit program.
 
     ``adorned`` must define a single adorned recursive predicate (the
     paper's setting for Section 6.4).
+
+    With ``include_seed=False`` the seed rule is left out (and the
+    bound query arguments need not be ground); the caller injects
+    ``cnt_p(x̄0, [])`` as a database fact at evaluation time.
     """
     program = adorned.program
     goal = adorned.goal
@@ -111,11 +115,13 @@ def counting(adorned: AdornedProgram) -> CountingResult:
 
     rules: List[Rule] = []
     seed_args = tuple(goal.args[i] for i in bound_pos)
-    for arg in seed_args:
-        if not arg.is_ground():
-            raise ValueError(f"bound query argument {arg} is not ground")
+    if include_seed:
+        for arg in seed_args:
+            if not arg.is_ground():
+                raise ValueError(f"bound query argument {arg} is not ground")
     seed = Literal(count_name(goal_pred), (*seed_args, NIL))
-    rules.append(Rule(seed, ()))
+    if include_seed:
+        rules.append(Rule(seed, ()))
 
     for rule_index, rule in enumerate(program.rules):
         head_bound = tuple(rule.head.args[i] for i in bound_pos)

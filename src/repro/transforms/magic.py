@@ -67,12 +67,18 @@ class MagicResult:
         return db.query(self.query_head)
 
 
-def magic_sets(adorned: AdornedProgram) -> MagicResult:
+def magic_sets(adorned: AdornedProgram, include_seed: bool = True) -> MagicResult:
     """Apply Magic Sets to an adorned program.
 
     The result contains the seed as a fact rule, all magic rules, all
     modified rules, and the rule ``query(free vars) :- goal`` that the
     paper carries through its examples (and that factoring rewrites).
+
+    With ``include_seed=False`` the seed rule is left out of the
+    program (and the bound query arguments need not be ground): the
+    caller injects the seed as a database fact at evaluation time.
+    The query compiler uses this to compile one program per
+    (query-form, adornment) and reuse it across constants.
     """
     program = adorned.program
     goal = adorned.goal
@@ -91,11 +97,13 @@ def magic_sets(adorned: AdornedProgram) -> MagicResult:
 
     # Seed: the ground bound arguments of the query.
     seed_args = _bound_args(goal, goal_adn)
-    for arg in seed_args:
-        if not arg.is_ground():
-            raise ValueError(f"bound query argument {arg} is not ground")
+    if include_seed:
+        for arg in seed_args:
+            if not arg.is_ground():
+                raise ValueError(f"bound query argument {arg} is not ground")
     seed = Literal(magic_name(goal.predicate), seed_args)
-    rules.append(Rule(seed, ()))
+    if include_seed:
+        rules.append(Rule(seed, ()))
 
     for rule in program.rules:
         head_adn = idb_names[rule.head.predicate]

@@ -432,3 +432,84 @@ class TestCrashRecovery:
         assert crashed_dump == clean_dump
         assert "t(2, 6)." in crashed_dump
         assert "t(1, 2)." not in crashed_dump  # the delete survived the crash
+
+
+class TestQuery:
+    def test_goal_directed_answers(self, program_file, facts_file, capsys):
+        assert main(
+            ["query", program_file, "t(1, Y)", "--facts", facts_file]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["2", "3", "4"]
+        assert "via" in captured.err
+
+    def test_engine_knobs_pass_through(self, program_file, facts_file, capsys):
+        assert main(
+            [
+                "query", program_file, "t(1, Y)", "--facts", facts_file,
+                "--planner", "cost", "--jobs", "2", "--backend", "thread",
+            ]
+        ) == 0
+        assert capsys.readouterr().out.splitlines() == ["2", "3", "4"]
+
+    def test_ground_goal_prints_true(self, program_file, facts_file, capsys):
+        assert main(
+            ["query", program_file, "t(1, 4)", "--facts", facts_file]
+        ) == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_reserved_program_is_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text("m_t(X) :- e(X, Y).\n")
+        assert main(["query", str(path), "m_t(1)"]) == 2
+        assert "reserved" in capsys.readouterr().err
+
+    def test_bad_backend_fails_cleanly(self, program_file, capsys):
+        assert main(
+            ["query", program_file, "t(1, Y)", "--backend", "bogus"]
+        ) == 2
+        assert "backend" in capsys.readouterr().err
+
+
+class TestOptimizeEvaluate:
+    def test_evaluate_stage(self, program_file, facts_file, capsys):
+        assert main(
+            [
+                "optimize", program_file, "t(1, Y)",
+                "--evaluate", "magic", "--facts", facts_file,
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["2", "3", "4"]
+        assert "stage magic" in captured.err
+
+    def test_unknown_stage_fails_before_evaluation(
+        self, program_file, facts_file, capsys
+    ):
+        assert main(
+            [
+                "optimize", program_file, "t(1, Y)",
+                "--evaluate", "bogus", "--facts", facts_file,
+            ]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown stage" in err
+        assert "original, magic, factored, simplified" in err
+
+    def test_unproduced_stage_lists_available(self, tmp_path, capsys):
+        # sg is not factorable, so the factored stage is never produced.
+        path = tmp_path / "sg.dl"
+        path.write_text(
+            "sg(X, Y) :- flat(X, Y).\n"
+            "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n"
+        )
+        assert main(
+            ["optimize", str(path), "sg(1, Y)", "--evaluate", "factored"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "not produced" in err
+        assert "original, magic" in err
+
+    def test_optimize_rejects_bad_jobs(self, program_file, capsys):
+        assert main(["optimize", program_file, "t(1, Y)", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err

@@ -365,6 +365,105 @@ def test_incremental_scripts_match_scratch(program_seed, edb_seed, script_seed, 
     )
 
 
+@settings(max_examples=20, deadline=None)
+@given(
+    program_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 2_000),
+    n=st.integers(3, 8),
+    source=st.integers(0, 7),
+    bind_second=st.booleans(),
+)
+def test_query_goal_matches_filtered_materialization(
+    program_seed, edb_seed, n, source, bind_second
+):
+    """The goal-directed serving path against the materialize oracle.
+
+    Whatever strategy :class:`~repro.engine.query.QueryCompiler` picks
+    for a random program and goal — factored, counting (with its
+    divergence fallback to magic), or plain magic — the answers must
+    equal filtering a full ``seminaive_eval`` fixpoint with the goal,
+    on every backend × planner combination.  The compiler is built once
+    per combination and asked twice (second constant shifted), so the
+    cached compiled form is also exercised.
+    """
+    from repro.engine.query import QueryCompiler
+
+    program = random_program(program_seed)
+    constant = source % n
+    goal_text = f"p(X, {constant})" if bind_second else f"p({constant}, Y)"
+    goal = parse_literal(goal_text)
+    edb = random_edb(edb_seed, n=n)
+    full, _ = seminaive_eval(program, edb)
+    expected = full.query(goal)
+    shifted = parse_literal(
+        f"p(X, {(constant + 1) % n})"
+        if bind_second
+        else f"p({(constant + 1) % n}, Y)"
+    )
+    expected_shifted = full.query(shifted)
+    for backend in ("serial", "thread", "process"):
+        for planner in ("greedy", "cost"):
+            compiler = QueryCompiler(
+                program, planner=planner, jobs=2, backend=backend
+            )
+            answer = compiler.ask(goal, edb)
+            assert answer.answers == expected, (
+                f"query_goal diverged on seed {program_seed} "
+                f"({backend}/{planner}, strategy {answer.strategy})"
+            )
+            again = compiler.ask(shifted, edb)
+            assert again.answers == expected_shifted, (
+                f"cached form diverged on seed {program_seed} "
+                f"({backend}/{planner})"
+            )
+            assert again.from_cache or again.strategy in ("edb", "materialize")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    program_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 2_000),
+    script_seed=st.integers(0, 10_000),
+    n=st.integers(3, 8),
+)
+def test_query_goal_tracks_churn(program_seed, edb_seed, script_seed, n):
+    """Goal-directed answers stay fresh under maintenance batches.
+
+    A random insert/delete script drives ``apply_batch`` on an
+    incremental session; after every batch, ``query_goal`` (which
+    bypasses the materialization and re-derives from the EDB) must
+    agree with the maintained database's own answer — i.e. compiled-
+    query caching must be invalidated exactly when the EDB changes.
+    """
+    import random
+
+    from repro.engine.incremental import IncrementalSession
+
+    program = random_program(program_seed)
+    edb = random_edb(edb_seed, n=n)
+    session = IncrementalSession(program, edb, planner="cost")
+    rng = random.Random(script_seed)
+    goal = parse_literal(f"p({rng.randrange(n)}, Y)")
+    assert session.query_goal(goal) == session.query(goal)
+    for _ in range(6):
+        if rng.random() < 0.6:
+            update = (f"e{rng.randrange(3)}", (rng.randrange(n), rng.randrange(n)))
+            session.apply_batch(inserts=[update])
+        else:
+            stored = sorted(
+                (sig[0], tuple(t.value for t in fact))
+                for sig, rel in session.edb.relations.items()
+                for fact in rel.tuples
+            )
+            if not stored:
+                continue
+            session.apply_batch(deletes=[stored[rng.randrange(len(stored))]])
+        assert session.query_goal(goal) == session.query(goal), (
+            f"stale compiled query after churn on seeds "
+            f"{program_seed}/{edb_seed}/{script_seed}"
+        )
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     program_seed=st.integers(0, 10_000),
