@@ -94,6 +94,7 @@ def cmd_optimize(args) -> int:
     # or evaluation, not halfway through.
     jobs = _checked_jobs(args)
     backend = _checked_backend(args)
+    exec_mode = _checked_exec(args)
     result = optimize(program, goal)
     if args.evaluate is not None:
         edb = _load_edb(args.facts)
@@ -103,6 +104,7 @@ def cmd_optimize(args) -> int:
             planner=args.planner,
             jobs=jobs,
             backend=backend,
+            exec=exec_mode,
         )
         _print_answers(answers)
         print(
@@ -143,6 +145,13 @@ def _checked_backend(args) -> str:
     return resolve_backend(args.backend)
 
 
+def _checked_exec(args) -> str:
+    """Validate --exec / $REPRO_EXEC up front for a clean CLI error."""
+    from repro.engine.columnar import resolve_exec
+
+    return resolve_exec(args.exec)
+
+
 def cmd_run(args) -> int:
     program = _load_program(args.program)
     goal = parse_query(args.query)
@@ -151,7 +160,11 @@ def cmd_run(args) -> int:
     backend = _checked_backend(args)
     result = optimize(program, goal)
     answers, stats = result.answers(
-        edb, planner=args.planner, jobs=jobs, backend=backend
+        edb,
+        planner=args.planner,
+        jobs=jobs,
+        backend=backend,
+        exec=_checked_exec(args),
     )
     strategy = "factored" if result.simplified is not None else "magic"
     _print_answers(answers)
@@ -176,6 +189,7 @@ def cmd_query(args) -> int:
         planner=args.planner,
         jobs=_checked_jobs(args),
         backend=_checked_backend(args),
+        exec=_checked_exec(args),
     )
     answer = compiler.ask(goal, edb)
     _print_answers(answer.values())
@@ -202,6 +216,7 @@ def cmd_explain(args) -> int:
     fact = parse_literal(args.fact)
     jobs = _checked_jobs(args)
     backend = _checked_backend(args)
+    _checked_exec(args)  # validated; provenance evaluation is tuple-mode
     try:
         tree = explain_fact(
             program, edb, fact, planner=args.planner, jobs=jobs, backend=backend
@@ -336,6 +351,7 @@ def _serve_session(args, program, edb):
         planner=args.planner,
         jobs=_checked_jobs(args),
         backend=_checked_backend(args),
+        exec=_checked_exec(args),
         record_provenance=args.provenance,
         max_seconds=args.timeout,
     )
@@ -412,6 +428,7 @@ def cmd_recover(args) -> int:
         planner=args.planner,
         jobs=_checked_jobs(args),
         backend=_checked_backend(args),
+        exec=_checked_exec(args),
         record_provenance=args.provenance,
         max_seconds=args.timeout,
     )
@@ -451,6 +468,15 @@ def _add_engine_options(parser) -> None:
         help="execution backend for parallel SCC batches: serial, "
         "thread, or process (default: $REPRO_BACKEND or thread; "
         "answers are identical)",
+    )
+    parser.add_argument(
+        "--exec",
+        default=None,
+        metavar="MODE",
+        help="plan execution mode: columnar (batch-at-a-time over "
+        "interned columns) or tuple (the tuple-at-a-time oracle) "
+        "(default: $REPRO_EXEC or columnar; answers and counters "
+        "are identical)",
     )
 
 

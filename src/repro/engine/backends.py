@@ -71,6 +71,14 @@ DEFAULT_RETRIES = 2
 #: First retry back-off in seconds; doubles per subsequent attempt.
 RETRY_BACKOFF = 0.05
 
+#: A component spec at or below this many snapshot facts counts as
+#: "small" for process shipping: its per-future overhead (pickling,
+#: dispatch, result transfer) rivals its evaluation time.
+SMALL_COMPONENT_FACTS = 512
+
+#: How many small specs ride in one grouped submission.
+SCC_BATCH_GROUP = 8
+
 
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Normalize a backend choice, honouring ``REPRO_BACKEND``.
@@ -173,6 +181,7 @@ class ComponentSpec:
     fact_base: int
     record: bool
     relations: Dict[Signature, Relation]
+    exec_mode: str = "tuple"
 
     @classmethod
     def from_task(cls, scheduler, task, db: Database, fact_base: int) -> "ComponentSpec":
@@ -194,7 +203,17 @@ class ComponentSpec:
             fact_base=fact_base,
             record=scheduler.recorder is not None,
             relations=db.snapshot(sorted(needed)).relations,
+            exec_mode=scheduler.exec_mode,
         )
+
+    def fact_count(self) -> int:
+        """Total facts across the spec's relation snapshots.
+
+        The process backend's shipping-size heuristic: specs below
+        :data:`SMALL_COMPONENT_FACTS` are grouped into one submission
+        to amortize pickling and dispatch overhead.
+        """
+        return sum(len(rel) for rel in self.relations.values())
 
 
 @dataclass
@@ -259,8 +278,10 @@ def evaluate_component(spec: ComponentSpec) -> ComponentResult:
     faults.fire("worker")
     db = Database()
     db.relations = dict(spec.relations)
+    # len() (not the log) so a columns-only snapshot stays undecoded
+    # until the component actually reads term tuples.
     baselines = {
-        sig: len(db.relation(*sig)._log) for sig in sorted(spec.sigs)
+        sig: len(db.relation(*sig)) for sig in sorted(spec.sigs)
     }
     recorder = None
     if spec.record:
@@ -282,6 +303,7 @@ def evaluate_component(spec: ComponentSpec) -> ComponentResult:
         recorder=recorder,
         fact_base=spec.fact_base,
         cache=_worker_cache(spec.planner) if spec.use_plans else None,
+        exec_mode=spec.exec_mode,
     )
     run.execute(db, stats)
     deltas = {
@@ -293,6 +315,19 @@ def evaluate_component(spec: ComponentSpec) -> ComponentResult:
         stats=stats,
         derivations=recorder.derivations if recorder is not None else None,
     )
+
+
+def evaluate_component_batch(specs: List[ComponentSpec]) -> List[ComponentResult]:
+    """Run several small component specs in one worker round-trip.
+
+    The process-worker entry for grouped shipments: semantically just
+    :func:`evaluate_component` per spec, in order.  Grouping changes
+    where the work runs, never what it computes — the parent re-indexes
+    the returned results back to batch positions before merging, so
+    facts and counters stay bit-identical to one-spec-per-future
+    shipping.
+    """
+    return [evaluate_component(spec) for spec in specs]
 
 
 # ----------------------------------------------------------------------
@@ -479,15 +514,44 @@ class ProcessBackend(ExecutorBackend):
             ComponentSpec.from_task(scheduler, task, db, fact_base)
             for task in batch
         ]
-        futures = [pool.submit(evaluate_component, spec) for spec in specs]
-        results: List[Optional[ComponentResult]] = []
+        # Group small components into shared submissions: a batch of
+        # tiny SCCs (the coarse-component workloads produce dozens)
+        # would otherwise spend more wall time pickling futures than
+        # evaluating.  Large specs keep a future each; grouping only
+        # changes dispatch, results are re-indexed to batch order.
+        submissions: List[List[int]] = []
+        group: List[int] = []
+        for i, spec in enumerate(specs):
+            if spec.fact_count() <= SMALL_COMPONENT_FACTS:
+                group.append(i)
+                if len(group) >= SCC_BATCH_GROUP:
+                    submissions.append(group)
+                    group = []
+            else:
+                submissions.append([i])
+        if group:
+            submissions.append(group)
+        futures = []
+        for idxs in submissions:
+            if len(idxs) == 1:
+                futures.append((idxs, pool.submit(evaluate_component, specs[idxs[0]])))
+            else:
+                futures.append(
+                    (idxs, pool.submit(evaluate_component_batch, [specs[i] for i in idxs]))
+                )
+        results: List[Optional[ComponentResult]] = [None] * len(specs)
         errors = []
-        for future in futures:  # batch order, deterministic
+        for idxs, future in futures:  # submission order, deterministic
             try:
-                results.append(future.result())
+                outcome = future.result()
             except Exception as exc:  # noqa: BLE001 - re-raised below
-                results.append(None)
                 errors.append(exc)
+                continue
+            if len(idxs) == 1:
+                results[idxs[0]] = outcome
+            else:
+                for i, res in zip(idxs, outcome):
+                    results[i] = res
         if errors:
             # A real evaluation error beats a worker-loss symptom: when a
             # worker dies, *every* unfinished future reports the broken
@@ -497,6 +561,9 @@ class ProcessBackend(ExecutorBackend):
                 if not isinstance(exc, BrokenExecutor):
                     raise exc
             raise errors[0]
+        stats.scc_batches_shipped += sum(
+            1 for idxs, _ in futures if len(idxs) > 1
+        )
         recorder = scheduler.recorder
         for result in results:
             for sig, facts in result.deltas.items():

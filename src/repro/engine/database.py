@@ -9,15 +9,19 @@ time and not just as counters.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.literals import Literal
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Term
+from repro.engine.intern import TermDictionary
 
 FactTuple = Tuple[Term, ...]
 Signature = Tuple[str, int]
+#: A fact as interned column values (one id per attribute).
+RowTuple = Tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -53,28 +57,115 @@ class Relation:
     Insertions also append to an internal log, so a contiguous run of
     additions (a semi-naive delta) is addressable as a zero-copy
     :class:`RelationView` via :meth:`view`.
+
+    When a :class:`~repro.engine.intern.TermDictionary` is attached
+    (``dictionary``), the relation additionally maintains a columnar
+    image of the log: one ``array('q')`` of interned term ids per
+    attribute, extended lazily from a watermark by
+    :meth:`ensure_columns` so the tuple-side hot path (:meth:`add`)
+    never pays for it.  The columnar executor
+    (:mod:`repro.engine.columnar`) reads the columns plus the
+    int-keyed :meth:`col_index`/:meth:`col_set` accessors; row ``i``
+    of the columns always describes ``_log[i]``.
     """
 
     __slots__ = (
         "name",
         "arity",
-        "tuples",
-        "_log",
+        "_tuples",
+        "_logrows",
+        "_pending_n",
         "_indexes",
         "_index_hits",
         "_carried_distinct",
+        "dictionary",
+        "_cols",
+        "_colset",
+        "_colset_n",
+        "_col_indexes",
+        "_last_rows",
+        "_pending_rows",
     )
 
-    def __init__(self, name: str, arity: int):
+    def __init__(
+        self, name: str, arity: int, dictionary: Optional[TermDictionary] = None
+    ):
         self.name = name
         self.arity = arity
-        self.tuples: Set[FactTuple] = set()
-        self._log: List[FactTuple] = []
+        self._tuples: Set[FactTuple] = set()
+        self._logrows: List[FactTuple] = []
+        # Rows that exist only in the columnar image so far: the tail
+        # of the columns past len(_logrows).  Decoded back into the
+        # tuple world lazily by _flush() on first tuple-side access.
+        self._pending_n = 0
         self._indexes: Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]] = {}
         self._index_hits: Dict[Tuple[int, ...], int] = {}
         # Distinct-key counts inherited through copy() for indexes the
         # copy chose not to materialize; live indexes take precedence.
         self._carried_distinct: Dict[Tuple[int, ...], int] = {}
+        #: Shared term dictionary enabling the columnar image (or None).
+        self.dictionary = dictionary
+        self._cols: Optional[List[array]] = None
+        self._colset: Optional[Set[RowTuple]] = None
+        self._colset_n = 0
+        # positions -> (int-keyed index of row positions, watermark).
+        self._col_indexes: Dict[Tuple[int, ...], Tuple[Dict, int]] = {}
+        # (lo, hi, rows): the row tuples of the most recent bulk append,
+        # kept so the next round's delta scan over exactly that span can
+        # reuse them instead of re-zipping column slices.  Columns are
+        # append-only, so the cache stays valid until compaction.
+        self._last_rows: Optional[Tuple[int, int, List[RowTuple]]] = None
+        # Bulk-appended rows not yet transposed into the columns.  A
+        # head relation whose deltas are served from _last_rows and
+        # whose dedup runs against the row set never needs its columns
+        # during the fixpoint; ensure_columns() drains this buffer in
+        # one transpose the first time the columns are actually read.
+        self._pending_rows: List[RowTuple] = []
+
+    # ------------------------------------------------------------------
+    # The tuple world: late materialization
+    # ------------------------------------------------------------------
+    #
+    # The columnar fixpoint appends derived rows to the columns only
+    # (:meth:`append_rows`); the term-tuple mirror — the ``tuples``
+    # set, the insertion log, any live tuple indexes — is brought up
+    # to date by :meth:`_flush` the first time something actually
+    # reads it.  Both are exposed as properties so every consumer
+    # (evaluators, backends, equality, pickling) transparently sees a
+    # complete relation, while a run that stays columnar end-to-end
+    # never pays for decoding at all.
+
+    @property
+    def tuples(self) -> Set[FactTuple]:
+        if self._pending_n:
+            self._flush()
+        return self._tuples
+
+    @property
+    def _log(self) -> List[FactTuple]:
+        if self._pending_n:
+            self._flush()
+        return self._logrows
+
+    def _flush(self) -> None:
+        """Decode columnar-only rows into the tuple-world mirror."""
+        dictionary = self.dictionary
+        with dictionary._lock:
+            if not self._pending_n:
+                return
+            cols = self.ensure_columns()
+            terms = dictionary.terms
+            start = len(self._logrows)
+            decoded = list(
+                zip(*([terms[i] for i in col[start:]] for col in cols))
+            )
+            self._logrows.extend(decoded)
+            self._tuples.update(decoded)
+            for positions, index in self._indexes.items():
+                for fact in decoded:
+                    key = tuple(fact[i] for i in positions)
+                    index.setdefault(key, []).append(fact)
+            self._pending_n = 0
 
     def add(self, fact: FactTuple) -> bool:
         """Insert ``fact``; returns True if it was new."""
@@ -84,8 +175,8 @@ class Relation:
             )
         if fact in self.tuples:
             return False
-        self.tuples.add(fact)
-        self._log.append(fact)
+        self._tuples.add(fact)
+        self._logrows.append(fact)
         for positions, index in self._indexes.items():
             key = tuple(fact[i] for i in positions)
             index.setdefault(key, []).append(fact)
@@ -95,7 +186,7 @@ class Relation:
         return fact in self.tuples
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        return len(self._tuples) + self._pending_n
 
     def __iter__(self) -> Iterator[FactTuple]:
         return iter(self.tuples)
@@ -140,6 +231,214 @@ class Relation:
         """The tuples as a set, for existence checks (no copy)."""
         return self.tuples
 
+    # ------------------------------------------------------------------
+    # Columnar image (interned ids; see repro.engine.columnar)
+    # ------------------------------------------------------------------
+
+    def ensure_columns(self) -> Optional[List[array]]:
+        """The per-attribute id columns, interned up to the current log.
+
+        Returns ``None`` without an attached dictionary (or for a
+        nullary relation, which has no columns to store) — the columnar
+        executor treats that as "fall back to the tuple path".  The
+        already-interned prefix is never re-read: extension starts at
+        the column watermark, so a fixpoint that checks every round
+        pays O(delta), not O(relation).  Extension runs under the
+        dictionary's re-entrant lock: concurrent readers of a *shared*
+        (non-growing) relation may race to columnize it first, and
+        in-place array appends must not interleave.
+        """
+        dictionary = self.dictionary
+        if dictionary is None or self.arity == 0:
+            return None
+        if self._pending_rows:
+            # Drain the row buffer in one bulk transpose.  Under the
+            # dictionary lock: a relation finished growing may be read
+            # by concurrent higher-stratum components, and the first
+            # reader must drain alone.
+            with dictionary._lock:
+                buffered = self._pending_rows
+                if buffered:
+                    cols = self._cols
+                    for col, values in zip(cols, zip(*buffered)):
+                        col.extend(values)
+                    self._pending_rows = []
+            return self._cols
+        cols = self._cols
+        if self._pending_n:
+            # Pending rows exist only columnar-side: the columns are by
+            # definition complete (and strictly ahead of the log).
+            return cols
+        n = len(self._logrows)
+        if cols is not None and len(cols[0]) == n:
+            return cols
+        with dictionary._lock:
+            cols = self._cols
+            if cols is None:
+                cols = [array("q") for _ in range(self.arity)]
+            m = len(cols[0])
+            if m < n:
+                intern = dictionary.intern
+                log = self._logrows
+                for i in range(m, n):
+                    for col, term in zip(cols, log[i]):
+                        col.append(intern(term))
+            if self._cols is None:
+                self._cols = cols
+        return cols
+
+    def col_set(self) -> Optional[Set[RowTuple]]:
+        """The facts as a set of interned rows (watermark-extended)."""
+        rows = self._colset
+        if rows is not None and self._colset_n == len(self._logrows) + self._pending_n:
+            # Fully synced (append_rows keeps it so): no column read,
+            # so a buffered head relation stays un-transposed.
+            return rows
+        cols = self.ensure_columns()
+        if cols is None:
+            return None
+        n = len(cols[0])
+        rows = self._colset
+        if rows is None:
+            rows = set(zip(*cols))
+            self._colset = rows
+            self._colset_n = n
+        elif self._colset_n < n:
+            start = self._colset_n
+            rows.update(zip(*(col[start:] for col in cols)))
+            self._colset_n = n
+        return rows
+
+    def col_index(self, positions: Tuple[int, ...]) -> Optional[Dict]:
+        """Int-keyed hash index on ``positions`` over the columns.
+
+        Maps the interned projection — a bare id for a single-position
+        index, an id tuple otherwise — to the list of row positions
+        with that projection (``lookup`` by row keeps the probe loop on
+        array indexing instead of materializing row tuples).  Persistent
+        and watermark-extended like the tuple indexes, so repeated
+        full-relation probes in a fixpoint stay O(delta) per round.
+        A first build is published atomically (racing readers of a
+        shared relation each build a private table and one wins);
+        extension mutates in place, which is safe because only a
+        relation's single writer ever observes it mid-growth.
+        """
+        cols = self.ensure_columns()
+        if cols is None:
+            return None
+        n = len(cols[0])
+        entry = self._col_indexes.get(positions)
+        if entry is not None and entry[1] == n:
+            return entry[0]
+        if entry is None:
+            index: Dict = {}
+            m = 0
+        else:
+            index, m = entry
+        if len(positions) == 1:
+            col = cols[positions[0]]
+            for i in range(m, n):
+                bucket = index.get(col[i])
+                if bucket is None:
+                    index[col[i]] = [i]
+                else:
+                    bucket.append(i)
+        else:
+            pcols = [cols[p] for p in positions]
+            for i in range(m, n):
+                key = tuple(col[i] for col in pcols)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [i]
+                else:
+                    bucket.append(i)
+        self._col_indexes[positions] = (index, n)
+        return index
+
+    def add_row(self, fact: FactTuple, row: RowTuple) -> None:
+        """Append a fact known to be novel, with its interned row.
+
+        The columnar round-end add: the caller already deduplicated
+        ``row`` against :meth:`col_set`, so this skips the membership
+        test and keeps every synced columnar structure (columns, row
+        set, int indexes) at their watermark without re-scanning.
+        Columns are aligned first — interleaved plain :meth:`add`
+        calls may have grown the log past them.
+        """
+        if self._pending_n:
+            self._flush()
+        cols = self.ensure_columns()
+        position = len(self._logrows)
+        self._tuples.add(fact)
+        self._logrows.append(fact)
+        for positions, index in self._indexes.items():
+            key = tuple(fact[i] for i in positions)
+            index.setdefault(key, []).append(fact)
+        if cols is None:
+            return
+        for col, value in zip(cols, row):
+            col.append(value)
+        if self._colset is not None and self._colset_n == position:
+            self._colset.add(row)
+            self._colset_n = position + 1
+        for positions, (index, watermark) in self._col_indexes.items():
+            if watermark != position:
+                continue
+            key = row[positions[0]] if len(positions) == 1 else tuple(
+                row[p] for p in positions
+            )
+            index.setdefault(key, []).append(position)
+            self._col_indexes[positions] = (index, position + 1)
+
+    def append_rows(
+        self, rows: List[RowTuple], rowset: Optional[Set[RowTuple]] = None
+    ) -> None:
+        """Bulk-append novel interned rows, columnar-side only.
+
+        The round-end absorption of the columnar fixpoint: the caller
+        already deduplicated ``rows`` against :meth:`col_set`, so the
+        columns, the row set, and synced int indexes advance in one
+        pass — and **nothing is decoded**.  The term-tuple mirror is
+        deferred: the rows are counted in ``_pending_n`` and
+        materialized by :meth:`_flush` if and when the tuple world is
+        next read.  Requires an attached dictionary and arity > 0 (the
+        caller's capability check guarantees both).
+
+        ``rowset``, when given, must hold exactly the same rows as a
+        set; the row-set update then runs set-to-set and reuses the
+        hashes already stored in its entries instead of rehashing
+        every tuple.
+        """
+        if not rows:
+            return
+        buffered = self._pending_rows
+        if not buffered and (
+            self._cols is None
+            or (not self._pending_n and len(self._cols[0]) != len(self._logrows))
+        ):
+            # First bulk append, or columns lagging the log: sync them
+            # once so buffered rows always continue a complete prefix.
+            self.ensure_columns()
+        position = len(self._cols[0]) + len(buffered)
+        if self._colset is not None and self._colset_n == position:
+            self._colset.update(rows if rowset is None else rowset)
+            self._colset_n = position + len(rows)
+        for positions, (index, watermark) in self._col_indexes.items():
+            if watermark != position:
+                continue
+            if len(positions) == 1:
+                p = positions[0]
+                for i, row in enumerate(rows, position):
+                    index.setdefault(row[p], []).append(i)
+            else:
+                for i, row in enumerate(rows, position):
+                    key = tuple(row[p] for p in positions)
+                    index.setdefault(key, []).append(i)
+            self._col_indexes[positions] = (index, position + len(rows))
+        buffered.extend(rows)
+        self._last_rows = (position, position + len(rows), rows)
+        self._pending_n += len(rows)
+
     def distinct_count(self, positions: Tuple[int, ...]) -> Optional[int]:
         """Distinct keys in the index on ``positions``, if one exists.
 
@@ -147,9 +446,19 @@ class Relation:
         counts carried over by :meth:`copy` when the live index was
         dropped; returns ``None`` when nothing is known.
         """
+        # Interning is a bijection, so an int-keyed index has exactly
+        # as many distinct keys as the tuple index on the same
+        # positions: the cost planner sees identical statistics in
+        # both modes.  With pending (un-decoded) rows the col index is
+        # the fresher of the two, so it takes precedence there.
+        entry = self._col_indexes.get(positions)
+        if self._pending_n and entry is not None:
+            return len(entry[0])
         index = self._indexes.get(positions)
         if index is not None:
             return len(index)
+        if entry is not None:
+            return len(entry[0])
         return self._carried_distinct.get(positions)
 
     def statistics(self) -> RelationStatistics:
@@ -161,7 +470,7 @@ class Relation:
         shared lower-stratum relation while this one reads statistics,
         and a live ``dict`` iteration would raise.
         """
-        return RelationStatistics(len(self.tuples), self._distinct_snapshot())
+        return RelationStatistics(len(self), self._distinct_snapshot())
 
     def snapshot(self) -> "Relation":
         """A compact, self-contained copy: facts plus statistics, no indexes.
@@ -174,35 +483,102 @@ class Relation:
         cardinality estimates without paying to rebuild (or transfer)
         any bucket table.
         """
-        dup = Relation(self.name, self.arity)
-        dup._log = list(self._log)
-        dup.tuples = set(self._log)
+        if self._pending_rows:
+            self.ensure_columns()
+        dup = Relation(self.name, self.arity, self.dictionary)
+        dup._logrows = list(self._logrows)
+        dup._tuples = set(self._logrows)
+        dup._pending_n = self._pending_n
         dup._carried_distinct = self._distinct_snapshot()
+        cols = self._cols
+        if cols is not None:
+            dup._cols = [col[:] for col in cols]
         return dup
 
     def _distinct_snapshot(self) -> Dict[Tuple[int, ...], int]:
-        """Carried + live distinct-key counts (live indexes win)."""
+        """Carried + live distinct-key counts (the fresher family wins).
+
+        Synced tuple and col indexes report identical counts (interning
+        is a bijection); while rows are pending the tuple indexes lag,
+        so the col counts take precedence then.
+        """
         distinct = dict(self._carried_distinct)
-        for positions, index in list(self._indexes.items()):
-            distinct[positions] = len(index)
+        col_entries = list(self._col_indexes.items())
+        tuple_entries = list(self._indexes.items())
+        if not self._pending_n:
+            for positions, entry in col_entries:
+                distinct[positions] = len(entry[0])
+            for positions, index in tuple_entries:
+                distinct[positions] = len(index)
+        else:
+            for positions, index in tuple_entries:
+                distinct[positions] = len(index)
+            for positions, entry in col_entries:
+                distinct[positions] = len(entry[0])
         return distinct
 
     def __getstate__(self):
         # Pickle the compact snapshot form: the log determines the tuple
         # set (add() appends only novel facts), and indexes travel as
         # distinct-key counts only.  Workers rebuild indexes lazily on
-        # first probe, exactly like a fresh relation.
-        return (self.name, self.arity, tuple(self._log), self._distinct_snapshot())
+        # first probe, exactly like a fresh relation.  A fully
+        # columnized relation ships its id columns plus the dictionary
+        # instead of the tuple log — the pickle memo serializes the
+        # shared dictionary once per payload, and decoding shares one
+        # term object per distinct value instead of one per occurrence.
+        if self._pending_rows:
+            self.ensure_columns()
+        cols = self._cols
+        if (
+            cols is not None
+            and self.dictionary is not None
+            and len(cols[0]) == len(self._logrows) + self._pending_n
+        ):
+            return (
+                self.name,
+                self.arity,
+                None,
+                self._distinct_snapshot(),
+                self.dictionary,
+                cols,
+            )
+        # No complete columnar image.  Pending rows only ever exist
+        # columnar-side, so here the log is the complete story.
+        return (
+            self.name,
+            self.arity,
+            tuple(self._logrows),
+            self._distinct_snapshot(),
+            self.dictionary,
+            None,
+        )
 
     def __setstate__(self, state) -> None:
-        name, arity, log, distinct = state
+        name, arity, log, distinct, dictionary, cols = state
         self.name = name
         self.arity = arity
-        self._log = list(log)
-        self.tuples = set(log)
+        self.dictionary = dictionary
         self._indexes = {}
         self._index_hits = {}
         self._carried_distinct = dict(distinct)
+        self._colset = None
+        self._colset_n = 0
+        self._col_indexes = {}
+        self._last_rows = None
+        self._pending_rows = []
+        if log is None:
+            # Columns-only wire form: leave every row pending and let
+            # the receiver decode lazily — a worker that stays columnar
+            # never materializes a single term tuple.
+            self._logrows = []
+            self._tuples = set()
+            self._pending_n = len(cols[0]) if cols else 0
+            self._cols = list(cols)
+        else:
+            self._logrows = list(log)
+            self._tuples = set(self._logrows)
+            self._pending_n = 0
+            self._cols = None
 
     def remove_facts(self, facts: Iterable[FactTuple]) -> int:
         """Remove ``facts``; returns how many were actually present.
@@ -222,8 +598,28 @@ class Relation:
         doomed = {fact for fact in facts if fact in self.tuples}
         if not doomed:
             return 0
-        self.tuples -= doomed
-        self._log = [fact for fact in self._log if fact not in doomed]
+        self._tuples -= doomed
+        old_log = self._logrows
+        self._logrows = [fact for fact in old_log if fact not in doomed]
+        cols = self._cols
+        if cols is not None:
+            # Compact the columns in step with the log: the columnized
+            # prefix keeps its surviving rows in order (they precede
+            # any surviving un-columnized suffix), so row i of the new
+            # columns still describes the new log's row i.  Row-position
+            # structures are dropped wholesale — compaction shifts the
+            # positions they point at.
+            covered = len(cols[0])
+            keep = [
+                i for i in range(covered) if old_log[i] not in doomed
+            ]
+            self._cols = [
+                array("q", (col[i] for i in keep)) for col in cols
+            ]
+        self._colset = None
+        self._colset_n = 0
+        self._col_indexes.clear()
+        self._last_rows = None
         for positions, index in self._indexes.items():
             touched = {tuple(fact[i] for i in positions) for fact in doomed}
             for key in touched:
@@ -259,10 +655,21 @@ class Relation:
         :meth:`Database.copy`-based pipelines plan from warm statistics
         instead of cold defaults.
         """
-        dup = Relation(self.name, self.arity)
-        dup.tuples = set(self.tuples)
-        dup._log = list(self._log)
+        if self._pending_rows:
+            self.ensure_columns()
+        dup = Relation(self.name, self.arity, self.dictionary)
+        dup._tuples = set(self._tuples)
+        dup._logrows = list(self._logrows)
+        dup._pending_n = self._pending_n
         dup._carried_distinct = dict(self._carried_distinct)
+        cols = self._cols
+        if cols is not None:
+            dup._cols = [col[:] for col in cols]
+        for positions, entry in list(self._col_indexes.items()):
+            # Int indexes are rebuilt lazily on the copy; their
+            # distinct-key counts survive as statistics (same counts a
+            # tuple index on the same positions would report).
+            dup._carried_distinct[positions] = len(entry[0])
         for positions, hits in list(self._index_hits.items()):
             index = self._indexes.get(positions)
             if index is None:
@@ -284,7 +691,15 @@ class RelationView:
     parent relation grows: the bounds are fixed at creation.
     """
 
-    __slots__ = ("relation", "start", "stop", "_indexes", "_set")
+    __slots__ = (
+        "relation",
+        "start",
+        "stop",
+        "_indexes",
+        "_set",
+        "_col_indexes",
+        "_colset",
+    )
 
     def __init__(self, relation: Relation, start: int, stop: int):
         self.relation = relation
@@ -294,6 +709,12 @@ class RelationView:
             Dict[Tuple[int, ...], Dict[FactTuple, List[FactTuple]]]
         ] = None
         self._set: Optional[Set[FactTuple]] = None
+        self._col_indexes: Optional[Dict[Tuple[int, ...], Dict]] = None
+        self._colset: Optional[Set[RowTuple]] = None
+
+    @property
+    def dictionary(self) -> Optional[TermDictionary]:
+        return self.relation.dictionary
 
     @property
     def name(self) -> str:
@@ -347,16 +768,77 @@ class RelationView:
             self._set = set(self.relation._log[self.start : self.stop])
         return self._set
 
+    def col_index(self, positions: Tuple[int, ...]) -> Optional[Dict]:
+        """Slice-local int-keyed index: projection -> parent row positions.
+
+        Row positions are *absolute* parent log offsets, so the probe
+        loop reads payload values straight out of the parent columns.
+        Per-view throwaway (views live for one fixpoint round), the
+        columnar analogue of the slice-local tuple indexes.
+        """
+        cols = self.relation.ensure_columns()
+        if cols is None:
+            return None
+        if self._col_indexes is None:
+            self._col_indexes = {}
+        index = self._col_indexes.get(positions)
+        if index is None:
+            index = {}
+            if len(positions) == 1:
+                col = cols[positions[0]]
+                for i in range(self.start, self.stop):
+                    bucket = index.get(col[i])
+                    if bucket is None:
+                        index[col[i]] = [i]
+                    else:
+                        bucket.append(i)
+            else:
+                pcols = [cols[p] for p in positions]
+                for i in range(self.start, self.stop):
+                    key = tuple(col[i] for col in pcols)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = [i]
+                    else:
+                        bucket.append(i)
+            self._col_indexes[positions] = index
+        return index
+
+    def col_set(self) -> Optional[Set[RowTuple]]:
+        """The slice's facts as a set of interned rows."""
+        cols = self.relation.ensure_columns()
+        if cols is None:
+            return None
+        if self._colset is None:
+            self._colset = set(
+                zip(*(col[self.start : self.stop] for col in cols))
+            )
+        return self._colset
+
     def distinct_count(self, positions: Tuple[int, ...]) -> Optional[int]:
         """Distinct keys in the slice-local index on ``positions``, if built."""
-        if self._indexes is None:
-            return None
-        index = self._indexes.get(positions)
-        return len(index) if index is not None else None
+        if self._indexes is not None:
+            index = self._indexes.get(positions)
+            if index is not None:
+                return len(index)
+        if self._col_indexes is not None:
+            index = self._col_indexes.get(positions)
+            if index is not None:
+                return len(index)
+        return None
 
     def statistics(self) -> RelationStatistics:
-        """Cardinality plus distinct-key counts of slice-local indexes."""
+        """Cardinality plus distinct-key counts of slice-local indexes.
+
+        Int-keyed and tuple-keyed indexes report identical counts for
+        the same positions (interning is a bijection), so the cost
+        planner plans the same join orders whichever execution mode
+        built them.
+        """
         distinct: Dict[Tuple[int, ...], int] = {}
+        if self._col_indexes is not None:
+            for positions, index in self._col_indexes.items():
+                distinct[positions] = len(index)
         if self._indexes is not None:
             for positions, index in self._indexes.items():
                 distinct[positions] = len(index)
@@ -372,6 +854,8 @@ class RelationView:
         self.relation, self.start, self.stop = state
         self._indexes = None
         self._set = None
+        self._col_indexes = None
+        self._colset = None
 
     def __repr__(self) -> str:
         return f"RelationView({self.name}/{self.arity}, [{self.start}:{self.stop}])"
@@ -385,19 +869,47 @@ class Database:
     values; they are wrapped into :class:`Constant` on insertion.
     """
 
-    def __init__(self):
+    def __init__(self, dictionary: Optional[TermDictionary] = None):
         self.relations: Dict[Signature, Relation] = {}
+        #: Term dictionary shared by this database's relations (or
+        #: None until :meth:`ensure_dictionary` — the tuple path never
+        #: needs one).  Copies, stages, and snapshots share it **by
+        #: reference**: ids are append-only, so an id minted before
+        #: the share keeps meaning the same term in every descendant.
+        self.dictionary = dictionary
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+
+    def ensure_dictionary(self) -> TermDictionary:
+        """Attach a term dictionary to this database and its relations.
+
+        Adopts a dictionary already carried by one of the relations
+        (the process backend ships relations with their dictionary and
+        the worker-side database starts without one) before minting a
+        fresh one.  Relations attached to a *different* dictionary are
+        left alone — the columnar executor notices the mismatch and
+        falls back to the tuple path for plans touching them.
+        """
+        if self.dictionary is None:
+            for rel in self.relations.values():
+                if rel.dictionary is not None:
+                    self.dictionary = rel.dictionary
+                    break
+            else:
+                self.dictionary = TermDictionary()
+        for rel in self.relations.values():
+            if rel.dictionary is None:
+                rel.dictionary = self.dictionary
+        return self.dictionary
 
     def relation(self, name: str, arity: int) -> Relation:
         """Get or create the relation for ``(name, arity)``."""
         sig = (name, arity)
         rel = self.relations.get(sig)
         if rel is None:
-            rel = Relation(name, arity)
+            rel = Relation(name, arity, self.dictionary)
             self.relations[sig] = rel
         return rel
 
@@ -490,8 +1002,9 @@ class Database:
     def copy(self) -> "Database":
         """An independent copy; per-relation indexes that were reused
         at least once are carried over, never-reused ones are dropped
-        (see :meth:`Relation.copy`)."""
-        dup = Database()
+        (see :meth:`Relation.copy`).  The term dictionary is shared by
+        reference — carried exactly once, never re-interned."""
+        dup = Database(self.dictionary)
         for sig, rel in self.relations.items():
             dup.relations[sig] = rel.copy()
         return dup
@@ -507,12 +1020,14 @@ class Database:
         write the same relation, then folds the stages back with
         :meth:`adopt_stage` at the batch barrier.
         """
-        out = Database()
+        out = Database(self.dictionary)
         out.relations = dict(self.relations)
         for sig in signatures:
             rel = self.relations.get(sig)
             out.relations[sig] = (
-                rel.copy() if rel is not None else Relation(*sig)
+                rel.copy()
+                if rel is not None
+                else Relation(*sig, dictionary=self.dictionary)
             )
         return out
 
@@ -527,11 +1042,13 @@ class Database:
         facts that component can actually touch cross the process
         boundary.  Missing signatures snapshot as empty relations.
         """
-        out = Database()
+        out = Database(self.dictionary)
         for sig in signatures:
             rel = self.relations.get(sig)
             out.relations[sig] = (
-                rel.snapshot() if rel is not None else Relation(*sig)
+                rel.snapshot()
+                if rel is not None
+                else Relation(*sig, dictionary=self.dictionary)
             )
         return out
 
@@ -580,7 +1097,7 @@ class Database:
     def restrict(self, signatures: Iterable[Signature]) -> "Database":
         """A new database containing only the named relations."""
         keep = set(signatures)
-        out = Database()
+        out = Database(self.dictionary)
         for sig, rel in self.relations.items():
             if sig in keep:
                 out.relations[sig] = rel.copy()

@@ -59,6 +59,7 @@ from repro.datalog.parser import parse_literal, parse_program, parse_query
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Term
+from repro.engine.columnar import decode_rows, execute_columnar, resolve_exec
 from repro.engine.database import Database, FactTuple, Relation
 from repro.engine.joins import (
     candidates,
@@ -124,7 +125,7 @@ class IncrementalSession:
     DRed restorations, ``facts`` added).  ``session.stats`` accumulates
     across the initial evaluation and every pass.
 
-    ``planner``/``jobs``/``backend``/``use_plans`` mirror
+    ``planner``/``jobs``/``backend``/``use_plans``/``exec`` mirror
     :func:`~repro.engine.seminaive.seminaive_eval`; the parallel knobs
     apply to the initial materialization (maintenance passes are
     sequential — affected components are usually few), and the planner
@@ -156,6 +157,7 @@ class IncrementalSession:
         jobs: Optional[int] = None,
         backend=None,
         use_plans: bool = True,
+        exec: Optional[str] = None,
         record_provenance: bool = False,
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
@@ -163,6 +165,11 @@ class IncrementalSession:
     ):
         self.program = program
         self.use_plans = use_plans
+        #: Maintenance joins run through the columnar kernel when the
+        #: mode (parameter, else ``$REPRO_EXEC``) says so and the plan
+        #: is eligible; the tuple executor remains the per-call
+        #: fallback, with identical counters either way.
+        self.exec_mode = resolve_exec(exec)
         self.record_provenance = record_provenance
         self.max_iterations = max_iterations
         self.max_facts = max_facts
@@ -227,9 +234,15 @@ class IncrementalSession:
                 max_iterations=max_iterations, max_facts=max_facts,
                 max_seconds=self.max_seconds,
                 use_plans=use_plans, planner=planner, jobs=jobs, backend=backend,
+                exec=self.exec_mode,
             )
             self._derivations = None
             self.stats.absorb(init_stats)
+        if self.exec_mode == "columnar" and not record_provenance:
+            # Maintenance passes intern through the same dictionary the
+            # initial evaluation used (minted here if the program was
+            # trivial enough that no component ran).
+            self.database.ensure_dictionary()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -275,6 +288,7 @@ class IncrementalSession:
                 jobs=self.jobs,
                 backend=self.backend,
                 use_plans=self.use_plans,
+                exec=self.exec_mode,
                 max_iterations=self.max_iterations,
                 max_facts=self.max_facts,
                 max_seconds=self.max_seconds,
@@ -559,13 +573,32 @@ class IncrementalSession:
         emitted: List[FactTuple],
         stats: EvalStats,
     ) -> None:
-        """One rule execution appending head tuples (plans or interpreter)."""
+        """One rule execution appending head tuples (plans or interpreter).
+
+        This is the single maintenance chokepoint the columnar mode
+        routes through: eligible plans run batch-at-a-time and their
+        interned rows are decoded back to term tuples (the delta
+        bookkeeping above works on terms), with a per-call fallback to
+        the tuple executor — counters are identical either way.
+        """
         if self._cache is not None:
             plan = self._cache.plan(
                 rule, roles, stats, db=self.database, overrides=overrides
             )
             before = len(emitted)
-            plan.execute(self.database, overrides or None, emitted.append, stats)
+            rows = None
+            if self.exec_mode == "columnar":
+                rows = execute_columnar(
+                    plan, self.database, overrides or None, stats
+                )
+            if rows is None:
+                plan.execute(
+                    self.database, overrides or None, emitted.append, stats
+                )
+            elif rows:
+                emitted.extend(
+                    decode_rows(self.database.dictionary.terms, rows)
+                )
             if plan.estimated_rows is not None:
                 stats.record_estimate(plan.estimated_rows, len(emitted) - before)
         else:
@@ -784,7 +817,9 @@ class IncrementalSession:
                 self._guard_rounds(task, rounds)
                 stats.incr_rounds += 1
                 delta_rels = {
-                    s: relation_from_tuples(s[0], s[1], facts)
+                    s: relation_from_tuples(
+                        s[0], s[1], facts, self.database.dictionary
+                    )
                     for s, facts in frontier.items()
                 }
                 fresh: Dict[Signature, List[FactTuple]] = {}
@@ -952,7 +987,7 @@ class IncrementalSession:
         """Reset the component's relations to EDB + program-fact content."""
         db = self.database
         for sig in task.sigs:
-            rel = Relation(*sig)
+            rel = Relation(*sig, dictionary=db.dictionary)
             base = self._edb.get(*sig)
             if base is not None:
                 for fact in base.view(0, len(base)):
@@ -978,6 +1013,7 @@ class IncrementalSession:
             max_seconds=self.max_seconds,
             recorder=recorder,
             cache=self._cache,
+            exec_mode=self.exec_mode,
         )
         local = EvalStats()
         run.execute(self.database, local)

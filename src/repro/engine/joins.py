@@ -117,9 +117,19 @@ def instantiate_head(rule: Rule, bindings: Dict[Variable, Term]) -> FactTuple:
     return tuple(args)
 
 
-def relation_from_tuples(name: str, arity: int, tuples: Iterable[FactTuple]) -> Relation:
-    """A throwaway indexed relation over ``tuples`` (semi-naive deltas)."""
-    rel = Relation(name, arity)
+def relation_from_tuples(
+    name: str,
+    arity: int,
+    tuples: Iterable[FactTuple],
+    dictionary=None,
+) -> Relation:
+    """A throwaway indexed relation over ``tuples`` (semi-naive deltas).
+
+    ``dictionary`` attaches a shared term dictionary so the columnar
+    executor accepts the relation as a source (incremental maintenance
+    builds its delta relations this way).
+    """
+    rel = Relation(name, arity, dictionary)
     for fact in tuples:
         rel.add(fact)
     return rel

@@ -37,6 +37,7 @@ def naive_eval(
     jobs: Optional[int] = None,
     backend=None,
     max_seconds: Optional[float] = None,
+    exec: Optional[str] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
@@ -48,8 +49,11 @@ def naive_eval(
     ``planner`` selects greedy or cost-based join ordering for compiled
     plans, ``jobs`` evaluates independent SCCs concurrently, and
     ``backend`` picks the executor those batches run on, and
-    ``max_seconds`` arms the per-component wall-clock watchdog (see
-    :func:`repro.engine.seminaive.seminaive_eval` for all four knobs).
+    ``max_seconds`` arms the per-component wall-clock watchdog, and
+    ``exec`` picks columnar or tuple plan execution (see
+    :func:`repro.engine.seminaive.seminaive_eval` for all the knobs).
+    Naive mode keeps tuple-at-a-time fixpoints internally (it is the
+    oracle); ``exec`` still controls the non-recursive passes.
     """
     db = edb.copy()
     stats = EvalStats()
@@ -66,6 +70,7 @@ def naive_eval(
         max_iterations=max_iterations,
         max_facts=max_facts,
         max_seconds=max_seconds,
+        exec=exec,
     )
     scheduler.run(db, stats)
 

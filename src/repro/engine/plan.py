@@ -262,6 +262,7 @@ class RulePlan:
         "head_fast",
         "_head_getter",
         "_body_ops",
+        "_columnar",
     )
 
     def __init__(
@@ -369,6 +370,10 @@ class RulePlan:
         # on_match hook; compiled lazily on first provenance execution
         # so plain evaluation pays nothing.
         self._body_ops: Optional[Tuple[Tuple[str, int, tuple], ...]] = None
+        # Columnar kernel (repro.engine.columnar), compiled lazily on
+        # the first columnar execution of this plan; False marks a plan
+        # the columnar path cannot run (it falls back to execute()).
+        self._columnar = None
 
     def _emit_head_general(self, slots: List[Optional[Term]]) -> FactTuple:
         out: List[Term] = []

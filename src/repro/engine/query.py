@@ -87,6 +87,7 @@ from repro.datalog.parser import parse_query
 from repro.datalog.program import Program
 from repro.datalog.terms import NIL, Term, Variable
 from repro.datalog.validate import ensure_no_reserved_names
+from repro.engine.columnar import resolve_exec
 from repro.engine.database import Database
 from repro.engine.plan import PlanCache
 from repro.engine.scheduler import SCCScheduler
@@ -308,6 +309,7 @@ class CompiledQuery:
             max_iterations=c.max_iterations,
             max_facts=c.max_facts,
             max_seconds=c.max_seconds,
+            exec=c.exec_mode,
             cache=PlanCache(c.planner or "greedy") if c.use_plans else None,
         )
 
@@ -422,9 +424,12 @@ class CompiledQuery:
         The overlay shares the EDB relation objects by reference — the
         rewritten program only ever writes generated-name relations, so
         the shared relations are read-only here (their lazily built
-        hash indexes persist across queries, which is the point).
+        hash indexes persist across queries, which is the point).  It
+        also shares the EDB's term dictionary, so a columnar run probes
+        the shared columns directly instead of rebuilding them per
+        query into a foreign dictionary.
         """
-        db = Database()
+        db = Database(edb.dictionary)
         db.relations.update(edb.relations)
         db.add_fact(seed_predicate, seed_args)
         scheduler.run(db, stats)
@@ -471,8 +476,8 @@ class QueryCompiler:
         answer.answers        # raw Term tuples
         answer.strategy       # "factored" | "counting" | "magic" | ...
 
-    ``planner``/``jobs``/``backend``/``use_plans`` mirror the evaluator
-    knobs; ``use_instance_checks`` enables instance-level (EDB-reading)
+    ``planner``/``jobs``/``backend``/``use_plans``/``exec`` mirror the
+    evaluator knobs; ``use_instance_checks`` enables instance-level (EDB-reading)
     factorability certification, in which case entries are invalidated
     on every EDB change (:meth:`note_edb_change`).
     """
@@ -485,6 +490,7 @@ class QueryCompiler:
         jobs: Optional[int] = None,
         backend: Optional[str] = None,
         use_plans: bool = True,
+        exec: Optional[str] = None,
         use_instance_checks: bool = False,
         max_iterations: Optional[int] = None,
         max_facts: Optional[int] = None,
@@ -497,6 +503,7 @@ class QueryCompiler:
         self.jobs = jobs
         self.backend = backend
         self.use_plans = use_plans
+        self.exec_mode = resolve_exec(exec)
         self.use_instance_checks = use_instance_checks
         self.max_iterations = max_iterations
         self.max_facts = max_facts
@@ -574,6 +581,7 @@ class QueryCompiler:
                 planner=self.planner,
                 jobs=self.jobs,
                 backend=self.backend,
+                exec=self.exec_mode,
                 max_iterations=self.max_iterations,
                 max_facts=self.max_facts,
                 max_seconds=self.max_seconds,

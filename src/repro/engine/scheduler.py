@@ -46,8 +46,9 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.engine import faults
 from repro.engine.backends import make_backend
+from repro.engine.columnar import execute_columnar, resolve_exec
 from repro.engine.cost import resolve_planner
-from repro.engine.database import Database, FactTuple, Relation
+from repro.engine.database import Database, FactTuple, Relation, RowTuple
 from repro.engine.joins import _resolve, instantiate_head, join_rule, relation_from_tuples
 from repro.engine.plan import PlanCache, RoleSpec
 from repro.engine.stats import ComponentTimeout, EvalStats, NonTerminationError
@@ -222,6 +223,7 @@ class SCCScheduler:
         max_seconds: Optional[float] = None,
         recorder=None,
         cache: Optional[PlanCache] = None,
+        exec: Optional[str] = None,
     ):
         if mode not in MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
@@ -231,6 +233,7 @@ class SCCScheduler:
         self.planner = resolve_planner(planner) if use_plans else None
         self.jobs = resolve_jobs(jobs)
         self.backend = make_backend(backend)
+        self.exec_mode = resolve_exec(exec)
         self.max_iterations = max_iterations
         self.max_facts = max_facts
         self.max_seconds = resolve_timeout(max_seconds)
@@ -291,6 +294,7 @@ class SCCScheduler:
             recorder=recorder,
             fact_base=fact_base,
             cache=self.cache,
+            exec_mode=self.exec_mode,
         )
 
     def run(self, db: Database, stats: EvalStats) -> None:
@@ -303,6 +307,12 @@ class SCCScheduler:
         the execution backend; its pooled resources are released when
         the run finishes.
         """
+        if self.exec_mode == "columnar":
+            # Mint the run's term dictionary up front, before any
+            # parallel batch: stages inherit it by reference, so
+            # concurrent components never race to attach competing
+            # dictionaries to shared lower-stratum relations.
+            db.ensure_dictionary()
         stats.scc_count += len(self.tasks)
         try:
             for batch in self.batches:
@@ -376,6 +386,7 @@ class ComponentRun:
         "fact_base",
         "rounds",
         "_deadline",
+        "exec_mode",
     )
 
     def __init__(
@@ -390,6 +401,7 @@ class ComponentRun:
         recorder=None,
         fact_base: int = 0,
         cache: Optional[PlanCache] = None,
+        exec_mode: str = "tuple",
     ):
         self.task = task
         self.mode = mode
@@ -404,6 +416,10 @@ class ComponentRun:
         self.fact_base = fact_base
         self.rounds = 0
         self._deadline: Optional[float] = None
+        #: "columnar" routes compiled-plan execution through the batch
+        #: kernel (repro.engine.columnar); anything else — and every
+        #: provenance or interpreter run — stays tuple-at-a-time.
+        self.exec_mode = exec_mode
 
     # -- budget guards --------------------------------------------------
 
@@ -451,6 +467,23 @@ class ComponentRun:
             # so the stat barriers' inference-weighted blend reduces to
             # this value (and stays exact if the backends ever mix).
             stats.provenance_plan_ratio = 1.0 if self.cache is not None else 0.0
+        if (
+            self.exec_mode == "columnar"
+            and self.recorder is None
+            and self.cache is not None
+        ):
+            # Adopt (or mint) the database's term dictionary lazily so
+            # every caller that builds a ComponentRun directly — the
+            # process-backend worker, incremental recomputes — gets the
+            # columnar path without its own setup step.
+            db.ensure_dictionary()
+            if not self.task.recursive:
+                self._eval_once_columnar(db, stats)
+            elif self.mode == "naive":
+                self._eval_naive(db, stats)
+            else:
+                self._eval_seminaive_columnar(db, stats)
+            return
         if not self.task.recursive:
             self._eval_once(db, stats)
         elif self.mode == "naive":
@@ -524,6 +557,69 @@ class ComponentRun:
                         stats.record_fact(sig)
                         if recorder is not None:
                             recorder.commit(sig, fact)
+                        self._check_facts(stats)
+
+    # -- non-recursive: one pass, columnar ----------------------------------
+
+    def _eval_once_columnar(self, db: Database, stats: EvalStats) -> None:
+        """Single columnar pass for a non-recursive component.
+
+        Per rule: run the batch kernel (falling back to the tuple
+        executor for ineligible plans — counters are identical either
+        way), then decode only the rows that are actually new.
+        """
+        dictionary = db.dictionary
+        terms = dictionary.terms
+        self._begin_round(stats)
+        for rule in self.task.rules:
+            sig = rule.head.signature
+            rel = db.relation(*sig)
+            plan = self.cache.plan(rule, (), stats, db=db)
+            rows = execute_columnar(plan, db, None, stats)
+            if rows is None:
+                emitted: List[FactTuple] = []
+                plan.execute(db, None, emitted.append, stats)
+                if plan.estimated_rows is not None:
+                    stats.record_estimate(plan.estimated_rows, len(emitted))
+                stats.inferences += len(emitted)
+                for fact in emitted:
+                    if rel.add(fact):
+                        stats.record_fact(sig)
+                        self._check_facts(stats)
+                continue
+            if plan.estimated_rows is not None:
+                stats.record_estimate(plan.estimated_rows, len(rows))
+            stats.inferences += len(rows)
+            if not rows:
+                continue
+            if rel.arity > 0 and rel.dictionary is dictionary:
+                seen = rel.col_set()
+                if self.max_facts is None:
+                    # Bulk absorption (no limit to trip mid-batch).
+                    novel: List[RowTuple] = []
+                    pending: Set[RowTuple] = set()
+                    for row in rows:
+                        if row not in seen and row not in pending:
+                            pending.add(row)
+                            novel.append(row)
+                    if novel:
+                        rel.append_rows(novel)
+                        stats.record_facts(sig, len(novel))
+                else:
+                    # Fact budget set: add one at a time so the limit
+                    # trips on exactly the same fact as the tuple path.
+                    for row in rows:
+                        if row not in seen:
+                            rel.add_row(tuple(terms[i] for i in row), row)
+                            stats.record_fact(sig)
+                            self._check_facts(stats)
+            else:
+                # Head relation outside this run's dictionary (or
+                # nullary): decode and take the plain tuple adds.
+                for row in rows:
+                    fact = tuple(terms[i] for i in row)
+                    if rel.add(fact):
+                        stats.record_fact(sig)
                         self._check_facts(stats)
 
     # -- recursive: semi-naive on compiled plans ----------------------------
@@ -661,6 +757,142 @@ class ComponentRun:
                             stats.record_fact(sig)
                             if recorder is not None:
                                 recorder.commit(sig, fact)
+                    self._check_facts(stats)
+            first_round = False
+            if not changed:
+                break
+
+    # -- recursive: semi-naive, columnar -------------------------------------
+
+    def _eval_seminaive_columnar(self, db: Database, stats: EvalStats) -> None:
+        """Semi-naive iteration with batch-at-a-time rule bodies.
+
+        Structurally identical to :meth:`_eval_seminaive_plans` — same
+        delta decomposition, same per-round plan refetch, same
+        round-end absorption — but the working currency is interned
+        rows: rule bodies run through
+        :func:`~repro.engine.columnar.execute_columnar` (falling back
+        per call to the tuple executor, whose emitted facts are then
+        interned), dedup is int-row set difference against the head's
+        column set, and only genuinely novel rows are decoded back to
+        terms.  Counters match the tuple path bit for bit.
+        """
+        dictionary = db.dictionary
+        rules = self.task.rules
+        scc_set = self.task.sigs
+        cache = self.cache
+        rels: Dict[Signature, Relation] = {
+            sig: db.relation(*sig) for sig in scc_set
+        }
+        if any(
+            sig[1] == 0 or rels[sig].dictionary is not dictionary
+            for sig in scc_set
+        ):
+            # A nullary or foreign-dictionary head cannot take row
+            # appends; run the whole component down the tuple path.
+            self._eval_seminaive_plans(db, stats)
+            return
+        intern = dictionary.intern
+        delta_start: Dict[Signature, int] = {sig: 0 for sig in scc_set}
+
+        variants: Dict[Rule, List[Tuple[RoleSpec, List[Tuple[int, str, Signature]]]]] = {}
+        for rule in rules:
+            positions = [
+                i for i, lit in enumerate(rule.body) if lit.signature in scc_set
+            ]
+            if not positions:
+                continue
+            rule_variants = []
+            for j, _ in enumerate(positions):
+                roles = tuple(
+                    (other, "delta" if k == j else "old")
+                    for k, other in enumerate(positions)
+                    if k >= j
+                )
+                binding = [
+                    (pos, role, rule.body[pos].signature) for pos, role in roles
+                ]
+                rule_variants.append((roles, binding))
+            variants[rule] = rule_variants
+
+        first_round = True
+        while True:
+            self._begin_round(stats)
+            stop = {sig: len(rels[sig]) for sig in scc_set}
+            delta_views = {
+                sig: rels[sig].view(delta_start[sig], stop[sig]) for sig in scc_set
+            }
+            old_views = {
+                sig: rels[sig].view(0, delta_start[sig]) for sig in scc_set
+            }
+            new: Dict[Signature, Set[RowTuple]] = {sig: set() for sig in scc_set}
+
+            for rule in rules:
+                sig = rule.head.signature
+                emitted: List[RowTuple] = []
+                rule_variants = variants.get(rule)
+                if rule_variants is None:
+                    if first_round:
+                        plan = cache.plan(rule, (), stats, db=db)
+                        rows = execute_columnar(plan, db, None, stats)
+                        if rows is None:
+                            # Ineligible plan or source: tuple oracle,
+                            # then intern its output into the row world.
+                            facts: List[FactTuple] = []
+                            plan.execute(db, None, facts.append, stats)
+                            rows = [
+                                tuple(intern(t) for t in fact) for fact in facts
+                            ]
+                        emitted = rows
+                        if plan.estimated_rows is not None:
+                            stats.record_estimate(plan.estimated_rows, len(emitted))
+                else:
+                    for roles, binding in rule_variants:
+                        overrides = {
+                            pos: delta_views[body_sig]
+                            if role == "delta"
+                            else old_views[body_sig]
+                            for pos, role, body_sig in binding
+                        }
+                        plan = cache.plan(
+                            rule, roles, stats, db=db, overrides=overrides
+                        )
+                        before = len(emitted)
+                        rows = execute_columnar(plan, db, overrides, stats)
+                        if rows is None:
+                            facts = []
+                            plan.execute(db, overrides, facts.append, stats)
+                            rows = [
+                                tuple(intern(t) for t in fact) for fact in facts
+                            ]
+                        if emitted:
+                            emitted.extend(rows)
+                        else:
+                            # The common single-variant case adopts the
+                            # kernel's fresh list instead of copying it.
+                            emitted = rows
+                        if plan.estimated_rows is not None:
+                            stats.record_estimate(
+                                plan.estimated_rows, len(emitted) - before
+                            )
+                if emitted:
+                    stats.inferences += len(emitted)
+                    prev = new[sig]
+                    if prev:
+                        prev |= set(emitted) - rels[sig].col_set()
+                    else:
+                        new[sig] = set(emitted) - rels[sig].col_set()
+
+            changed = False
+            for sig in scc_set:
+                delta_start[sig] = stop[sig]
+            for sig in scc_set:
+                fresh = new[sig]
+                if fresh:
+                    changed = True
+                    rows_list = list(fresh)
+                    rels[sig].append_rows(rows_list, fresh)
+                    stats.record_facts(sig, len(rows_list))
                     self._check_facts(stats)
             first_round = False
             if not changed:

@@ -46,6 +46,7 @@ def seminaive_eval(
     jobs: Optional[int] = None,
     backend=None,
     max_seconds: Optional[float] = None,
+    exec: Optional[str] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, semi-naively.
 
@@ -79,6 +80,13 @@ def seminaive_eval(
     planner, and job count derives the identical fixpoint with
     identical ``facts``/``inferences``/``iterations`` counters; only
     join order, probe counts, and wall time differ.
+
+    ``exec`` selects the execution mode for compiled plans:
+    ``"columnar"`` (the default) runs rule bodies batch-at-a-time over
+    interned id columns (:mod:`repro.engine.columnar`), ``"tuple"``
+    forces the tuple-at-a-time executor everywhere; ``None`` reads
+    ``REPRO_EXEC``.  The two modes are counter-identical — the tuple
+    path is kept as the differential-fuzz oracle.
     """
     db = edb.copy()
     stats = EvalStats()
@@ -95,6 +103,7 @@ def seminaive_eval(
         max_iterations=max_iterations,
         max_facts=max_facts,
         max_seconds=max_seconds,
+        exec=exec,
     )
     scheduler.run(db, stats)
 

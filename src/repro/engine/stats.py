@@ -128,6 +128,7 @@ class EvalStats:
     replans: int = 0
     scc_count: int = 0
     scc_parallel_batches: int = 0
+    scc_batches_shipped: int = 0
     provenance_plan_ratio: float = 0.0
     incr_rounds: int = 0
     rederived: int = 0
@@ -139,6 +140,13 @@ class EvalStats:
     def record_fact(self, signature: Tuple[str, int]) -> None:
         self.facts += 1
         self.per_predicate[signature] = self.per_predicate.get(signature, 0) + 1
+
+    def record_facts(self, signature: Tuple[str, int], count: int) -> None:
+        """Batched :meth:`record_fact` — one call per round-end fresh set."""
+        self.facts += count
+        self.per_predicate[signature] = (
+            self.per_predicate.get(signature, 0) + count
+        )
 
     def record_estimate(self, estimated: float, actual: int) -> None:
         """Log one (predicted rows, observed emissions) sample (capped)."""
@@ -201,6 +209,7 @@ class EvalStats:
         self.replans += other.replans
         self.scc_count += other.scc_count
         self.scc_parallel_batches += other.scc_parallel_batches
+        self.scc_batches_shipped += other.scc_batches_shipped
         self.incr_rounds += other.incr_rounds
         self.rederived += other.rederived
         self.backend_retries += other.backend_retries

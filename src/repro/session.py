@@ -60,7 +60,11 @@ class DeductiveDatabase:
     identical for every job count) and ``backend`` picks the executor
     they run on — ``"serial"``, ``"thread"``, or ``"process"`` for
     real multi-core parallelism (``None`` defers to
-    ``REPRO_BACKEND``).  ``max_seconds`` arms a per-component
+    ``REPRO_BACKEND``).  ``exec`` selects how compiled plans run:
+    ``"columnar"`` (the default) batches interned rows through the
+    column kernel, ``"tuple"`` forces the tuple-at-a-time oracle —
+    answers and counters are identical either way (``None`` defers to
+    ``REPRO_EXEC``).  ``max_seconds`` arms a per-component
     wall-clock watchdog on materialized sessions (``None`` defers to
     ``REPRO_TIMEOUT``): a runaway maintenance fixpoint rolls back with
     :class:`~repro.engine.stats.MaintenanceError` instead of hanging.
@@ -75,6 +79,7 @@ class DeductiveDatabase:
         jobs: Optional[int] = None,
         backend: Optional[str] = None,
         use_plans: bool = True,
+        exec: Optional[str] = None,
         max_seconds: Optional[float] = None,
     ):
         self._rules: List = []
@@ -94,6 +99,7 @@ class DeductiveDatabase:
         self._jobs = jobs
         self._backend = backend
         self._use_plans = use_plans
+        self._exec = exec
         self._max_seconds = max_seconds
 
     # ------------------------------------------------------------------
@@ -239,6 +245,7 @@ class DeductiveDatabase:
                 jobs=self._jobs,
                 backend=self._backend,
                 use_plans=self._use_plans,
+                exec=self._exec,
                 use_instance_checks=self._use_instance_checks,
                 max_seconds=self._max_seconds,
             )
@@ -305,6 +312,7 @@ class DeductiveDatabase:
         kwargs.setdefault("jobs", self._jobs)
         kwargs.setdefault("backend", self._backend)
         kwargs.setdefault("use_plans", self._use_plans)
+        kwargs.setdefault("exec", self._exec)
         kwargs.setdefault("max_seconds", self._max_seconds)
         program, edb_view = self._effective()
         bridged = {
