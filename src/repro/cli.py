@@ -95,6 +95,7 @@ def cmd_optimize(args) -> int:
     jobs = _checked_jobs(args)
     backend = _checked_backend(args)
     exec_mode = _checked_exec(args)
+    partitions = _checked_partitions(args)
     result = optimize(program, goal)
     if args.evaluate is not None:
         edb = _load_edb(args.facts)
@@ -105,6 +106,7 @@ def cmd_optimize(args) -> int:
             jobs=jobs,
             backend=backend,
             exec=exec_mode,
+            partitions=partitions,
         )
         _print_answers(answers)
         print(
@@ -152,6 +154,13 @@ def _checked_exec(args) -> str:
     return resolve_exec(args.exec)
 
 
+def _checked_partitions(args) -> int:
+    """Validate --partitions / $REPRO_PARTITIONS up front."""
+    from repro.engine.partition import resolve_partitions
+
+    return resolve_partitions(args.partitions)
+
+
 def cmd_run(args) -> int:
     program = _load_program(args.program)
     goal = parse_query(args.query)
@@ -165,6 +174,7 @@ def cmd_run(args) -> int:
         jobs=jobs,
         backend=backend,
         exec=_checked_exec(args),
+        partitions=_checked_partitions(args),
     )
     strategy = "factored" if result.simplified is not None else "magic"
     _print_answers(answers)
@@ -173,7 +183,33 @@ def cmd_run(args) -> int:
         f"{stats.inferences} inferences, {stats.seconds * 1000:.1f} ms",
         file=sys.stderr,
     )
+    if args.stats:
+        _print_stats(stats)
     return 0
+
+
+def _print_stats(stats) -> None:
+    """The full counter dump behind ``repro run --stats``."""
+    print("-- stats:", file=sys.stderr)
+    rows = [
+        ("facts", stats.facts),
+        ("inferences", stats.inferences),
+        ("iterations", stats.iterations),
+        ("probes", stats.probes),
+        ("plans_compiled", stats.plans_compiled),
+        ("plan_cache_hits", stats.plan_cache_hits),
+        ("replans", stats.replans),
+        ("scc_count", stats.scc_count),
+        ("scc_parallel_batches", stats.scc_parallel_batches),
+        ("scc_batches_shipped", stats.scc_batches_shipped),
+        ("backend_retries", stats.backend_retries),
+        ("backend_fallbacks", stats.backend_fallbacks),
+        ("partition_rounds", stats.partition_rounds),
+        ("partition_skew", f"{stats.partition_skew:.2f}"),
+        ("seconds", f"{stats.seconds:.4f}"),
+    ]
+    for name, value in rows:
+        print(f"--   {name}: {value}", file=sys.stderr)
 
 
 def cmd_query(args) -> int:
@@ -190,6 +226,7 @@ def cmd_query(args) -> int:
         jobs=_checked_jobs(args),
         backend=_checked_backend(args),
         exec=_checked_exec(args),
+        partitions=_checked_partitions(args),
     )
     answer = compiler.ask(goal, edb)
     _print_answers(answer.values())
@@ -217,6 +254,7 @@ def cmd_explain(args) -> int:
     jobs = _checked_jobs(args)
     backend = _checked_backend(args)
     _checked_exec(args)  # validated; provenance evaluation is tuple-mode
+    _checked_partitions(args)  # validated; provenance runs unpartitioned
     try:
         tree = explain_fact(
             program, edb, fact, planner=args.planner, jobs=jobs, backend=backend
@@ -352,6 +390,7 @@ def _serve_session(args, program, edb):
         jobs=_checked_jobs(args),
         backend=_checked_backend(args),
         exec=_checked_exec(args),
+        partitions=_checked_partitions(args),
         record_provenance=args.provenance,
         max_seconds=args.timeout,
     )
@@ -429,6 +468,7 @@ def cmd_recover(args) -> int:
         jobs=_checked_jobs(args),
         backend=_checked_backend(args),
         exec=_checked_exec(args),
+        partitions=_checked_partitions(args),
         record_provenance=args.provenance,
         max_seconds=args.timeout,
     )
@@ -478,6 +518,16 @@ def _add_engine_options(parser) -> None:
         "(default: $REPRO_EXEC or columnar; answers and counters "
         "are identical)",
     )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hash-split each delta round inside recursive components "
+        "into N partitions run through the backend's executor "
+        "(default: $REPRO_PARTITIONS or 1; answers and counters "
+        "are identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -512,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program")
     p.add_argument("query")
     p.add_argument("--facts", help="Datalog file of ground facts")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the full evaluation counter dump (probes, plan "
+        "cache, SCC batches, partition rounds/skew) to stderr",
+    )
     _add_engine_options(p)
     p.set_defaults(func=cmd_run)
 

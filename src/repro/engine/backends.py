@@ -182,6 +182,7 @@ class ComponentSpec:
     record: bool
     relations: Dict[Signature, Relation]
     exec_mode: str = "tuple"
+    partitions: int = 1
 
     @classmethod
     def from_task(cls, scheduler, task, db: Database, fact_base: int) -> "ComponentSpec":
@@ -204,6 +205,7 @@ class ComponentSpec:
             record=scheduler.recorder is not None,
             relations=db.snapshot(sorted(needed)).relations,
             exec_mode=scheduler.exec_mode,
+            partitions=scheduler.partitions,
         )
 
     def fact_count(self) -> int:
@@ -304,6 +306,12 @@ def evaluate_component(spec: ComponentSpec) -> ComponentResult:
         fact_base=spec.fact_base,
         cache=_worker_cache(spec.planner) if spec.use_plans else None,
         exec_mode=spec.exec_mode,
+        # Partitioning inside a pool worker stays serial: a daemonic
+        # worker cannot spawn its own process group, and nested thread
+        # pools per component would oversubscribe.  Counters (including
+        # partition_rounds/partition_skew) are unchanged by mechanism.
+        partitions=spec.partitions,
+        partition_backend="serial",
     )
     run.execute(db, stats)
     deltas = {
@@ -384,6 +392,14 @@ class ThreadBackend(ExecutorBackend):
     including every counter except wall time — is identical to the
     sequential schedule.  GIL-bound: overlaps little pure-Python
     compute, but costs no cross-process copies.
+
+    Like the process backend, same-depth *small* components (measured
+    by the live fact count over the component's signatures) are grouped
+    into shared submissions — a future per tiny SCC buys no overlap but
+    pays scheduling overhead per task.  Each task keeps its own stage,
+    stats, and forked recorder, and the barrier still merges in batch
+    order, so grouping changes dispatch only.  Multi-task submissions
+    count in ``stats.scc_batches_shipped``.
     """
 
     name = "thread"
@@ -397,24 +413,54 @@ class ThreadBackend(ExecutorBackend):
             recorder.fork() if recorder is not None else None for _ in batch
         ]
 
+        def task_size(task) -> int:
+            total = 0
+            for sig in task.sigs:
+                rel = db.get(*sig)
+                if rel is not None:
+                    total += len(rel)
+            return total
+
+        submissions: List[List[int]] = []
+        group: List[int] = []
+        for i, task in enumerate(batch):
+            if task_size(task) <= SMALL_COMPONENT_FACTS:
+                group.append(i)
+                if len(group) >= SCC_BATCH_GROUP:
+                    submissions.append(group)
+                    group = []
+            else:
+                submissions.append([i])
+        if group:
+            submissions.append(group)
+
         def work(i: int) -> None:
             run = scheduler.component_run(
                 batch[i], recorders[i], fact_base=fact_base
             )
             run.execute(stages[i], locals_[i])
 
+        def work_group(idxs: List[int]) -> None:
+            for i in idxs:
+                work(i)
+
         with ThreadPoolExecutor(
-            max_workers=min(scheduler.jobs, len(batch))
+            max_workers=min(scheduler.jobs, len(submissions))
         ) as executor:
-            futures = [executor.submit(work, i) for i in range(len(batch))]
+            futures = [
+                executor.submit(work_group, idxs) for idxs in submissions
+            ]
             errors = []
-            for future in futures:  # batch order, deterministic
+            for future in futures:  # submission order, deterministic
                 try:
                     future.result()
                 except Exception as exc:  # noqa: BLE001 - re-raised below
                     errors.append(exc)
         if errors:
             raise errors[0]
+        stats.scc_batches_shipped += sum(
+            1 for idxs in submissions if len(idxs) > 1
+        )
         for task, stage, local, forked in zip(batch, stages, locals_, recorders):
             db.adopt_stage(stage, task.sigs)
             stats.absorb(local)

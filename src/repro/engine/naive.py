@@ -38,6 +38,7 @@ def naive_eval(
     backend=None,
     max_seconds: Optional[float] = None,
     exec: Optional[str] = None,
+    partitions: Optional[int] = None,
 ) -> Tuple[Database, EvalStats]:
     """Evaluate ``program`` over ``edb`` to fixpoint, naively.
 
@@ -54,6 +55,9 @@ def naive_eval(
     :func:`repro.engine.seminaive.seminaive_eval` for all the knobs).
     Naive mode keeps tuple-at-a-time fixpoints internally (it is the
     oracle); ``exec`` still controls the non-recursive passes.
+    ``partitions`` is accepted for interface parity but naive fixpoints
+    ignore it — there is no delta to split, and the oracle stays
+    maximally simple.
     """
     db = edb.copy()
     stats = EvalStats()
@@ -71,6 +75,7 @@ def naive_eval(
         max_facts=max_facts,
         max_seconds=max_seconds,
         exec=exec,
+        partitions=partitions,
     )
     scheduler.run(db, stats)
 
