@@ -578,6 +578,162 @@ def run_batch_churn(
     return rows, speedups, ok
 
 
+def run_serve(
+    best_of: int, series: Series
+) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
+    """Sustained query throughput under churn (the serving layer).
+
+    A :class:`~repro.engine.server.DatalogServer` absorbs a looping
+    churn script (each full cycle applies the script and then its exact
+    inverse, so the EDB returns to its base state) while reader threads
+    hammer point queries against the pinned read views.
+    ``serve/qps_churn_rN`` records queries/sec sustained with N ∈ {1, 4}
+    readers racing the writer; ``serve/qps_r4_vs_r1`` is the
+    concurrency ratio (≈ N× would mean reads scale freely; on one CPU
+    the GIL time-slices and the ratio mostly shows reads not blocking
+    behind the writer).  The run fails if the final database diverges
+    from a from-scratch evaluation of the base EDB — every cycle is
+    net-zero, so divergence means a batch tore.
+    """
+    import threading
+    import time as _time
+
+    from repro.engine.server import DatalogServer
+
+    n = scaled(80, minimum=20)
+    update_count = scaled(24, minimum=8)
+    duration = 0.4  # seconds of sustained churn per measured run
+    chunk_size = 4
+    program = churn_program()
+    script = churn_script(seed=23, updates=update_count, n=n)
+    chunks = [
+        script[i : i + chunk_size] for i in range(0, len(script), chunk_size)
+    ]
+
+    # Compress each chunk to its *net* effect against a shadow of the
+    # evolving EDB, then append the inverses in reverse order: one full
+    # cycle provably restores the base state, so the writer can loop
+    # for the whole measurement window without consistency drift.
+    base = churn_edb(n)
+    shadow = {
+        (sig[0], tuple(t.value for t in fact))
+        for sig, rel in base.relations.items()
+        for fact in rel.tuples
+    }
+    forward = []
+    for chunk in chunks:
+        last = {}
+        for op, pred, args in chunk:
+            last[(pred, args)] = op
+        inserts = [k for k, op in last.items() if op == "+" and k not in shadow]
+        deletes = [k for k, op in last.items() if op == "-" and k in shadow]
+        shadow |= set(inserts)
+        shadow -= set(deletes)
+        forward.append((inserts, deletes))
+    cycle = forward + [(dels, ins) for ins, dels in reversed(forward)]
+
+    rows: List[Dict[str, object]] = []
+    qps_by_readers: Dict[int, float] = {}
+    ok = True
+    for readers in (1, 4):
+        best_qps = None
+        for _ in range(best_of):
+            session = IncrementalSession(program, churn_edb(n), partitions=1)
+            server = DatalogServer(session)
+            done = threading.Event()
+            counts = [0] * readers
+            errors: List[BaseException] = []
+
+            def reader(slot):
+                try:
+                    i = slot
+                    while not done.is_set():
+                        server.query(f"t({i % n}, Y)")
+                        counts[slot] += 1
+                        i += readers
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(slot,), daemon=True)
+                for slot in range(readers)
+            ]
+            for thread in threads:
+                thread.start()
+            begin = _time.perf_counter()
+            while True:
+                for inserts, deletes in cycle:
+                    if inserts or deletes:
+                        server.apply_batch(
+                            inserts=inserts or None, deletes=deletes or None
+                        )
+                if _time.perf_counter() - begin >= duration:
+                    break
+            elapsed = _time.perf_counter() - begin
+            done.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            if errors or any(t.is_alive() for t in threads):
+                print(
+                    f"FAIL serve: reader thread failed under churn "
+                    f"({errors!r})",
+                    file=sys.stderr,
+                )
+                ok = False
+                break
+            scratch, _ = seminaive_eval(program, churn_edb(n), partitions=1)
+            if server.session.database != scratch:
+                print(
+                    "FAIL serve: net-zero churn cycles diverged from the "
+                    "base-state oracle",
+                    file=sys.stderr,
+                )
+                ok = False
+                break
+            qps = sum(counts) / elapsed if elapsed else 0.0
+            if best_qps is None or qps > best_qps:
+                best_qps = qps
+                best_run = (sum(counts), elapsed, server.stats)
+        if best_qps is None:
+            break
+        queries, elapsed, stats = best_run
+        qps_by_readers[readers] = best_qps
+        rows.append(
+            {
+                "label": f"serve/qps_churn_r{readers}",
+                "n": n,
+                "facts": queries,
+                "inferences": None,
+                "seconds": round(elapsed, 6),
+                "qps": round(best_qps, 1),
+            }
+        )
+        series.add(
+            Measurement(
+                label=f"serve/qps_churn_r{readers}",
+                n=n,
+                facts=queries,
+                inferences=0,
+                iterations=stats.batches_committed,
+                seconds=elapsed,
+            )
+        )
+    speedups: Dict[str, float] = {}
+    if 1 in qps_by_readers and 4 in qps_by_readers:
+        speedups["serve/qps_r4_vs_r1"] = (
+            qps_by_readers[4] / qps_by_readers[1]
+            if qps_by_readers[1]
+            else float("inf")
+        )
+        series.note(
+            f"serve: {qps_by_readers[1]:.0f} q/s with 1 reader, "
+            f"{qps_by_readers[4]:.0f} q/s with 4 "
+            f"({speedups['serve/qps_r4_vs_r1']:.2f}x) under sustained "
+            f"churn"
+        )
+    return rows, speedups, ok
+
+
 def run_query(
     best_of: int, series: Series
 ) -> Tuple[List[Dict[str, object]], Dict[str, float], bool]:
@@ -743,9 +899,12 @@ def run(
     selected = workloads()
     churn_selected = only is None or "churn" in only
     query_selected = only is None or "query" in only
+    serve_selected = only is None or "serve" in only
     if only:
         unknown = (
-            set(only) - {name for name, *_ in selected} - {"churn", "query"}
+            set(only)
+            - {name for name, *_ in selected}
+            - {"churn", "query", "serve"}
         )
         if unknown:
             raise SystemExit(f"unknown workloads: {sorted(unknown)}")
@@ -863,6 +1022,11 @@ def run(
         rows.extend(query_rows)
         speedups.update(query_speedups)
         ok = ok and query_ok
+    if serve_selected:
+        serve_rows, serve_speedups, serve_ok = run_serve(best_of, series)
+        rows.extend(serve_rows)
+        speedups.update(serve_speedups)
+        ok = ok and serve_ok
     series.show()
     return rows, speedups, ok
 

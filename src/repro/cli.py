@@ -277,13 +277,15 @@ class ServeLoop:
     Commands: ``+ facts.`` insert, ``- facts.`` delete, ``? query``
     ask, ``explain fact`` derivation tree (``--provenance`` only),
     ``stats`` counters, ``quit`` exit; blank lines and ``#`` comments
-    are skipped.  Every update runs as one atomic
-    :meth:`~repro.engine.incremental.IncrementalSession.apply_batch`,
-    so a failing command rolls back cleanly and the loop keeps serving;
-    errors report with their script line number.  With a journal,
-    updates are validated, then write-ahead-logged, then applied
-    (a rolled-back batch appends a compensating abort record), and a
-    checkpoint is appended every ``checkpoint_every`` batches.
+    are skipped.  The update/journal/checkpoint policy lives in
+    :class:`~repro.engine.server.DatalogServer` — the REPL is that
+    server driven by a single client: every update runs as one atomic,
+    write-ahead-journaled
+    :meth:`~repro.engine.incremental.IncrementalSession.apply_batch`
+    (a rolled-back batch appends a compensating abort record; a
+    checkpoint is appended every ``checkpoint_every`` batches), so a
+    failing command rolls back cleanly and the loop keeps serving;
+    errors report with their script line number.
     """
 
     def __init__(
@@ -294,16 +296,14 @@ class ServeLoop:
         journal=None,
         checkpoint_every: Optional[int] = None,
     ):
-        if checkpoint_every is not None and checkpoint_every < 1:
-            raise ValueError(
-                f"invalid checkpoint_every={checkpoint_every!r}; "
-                f"expected a positive integer"
-            )
+        from repro.engine.server import DatalogServer
+
         self.session = session
         self.provenance = provenance
         self.journal = journal
-        self.checkpoint_every = checkpoint_every
-        self._since_checkpoint = 0
+        self.server = DatalogServer(
+            session, journal=journal, checkpoint_every=checkpoint_every
+        )
 
     def run_line(self, line: str, lineno: Optional[int] = None) -> str:
         """Execute one command; returns ``"ok"``, ``"error"``, or ``"quit"``."""
@@ -327,8 +327,9 @@ class ServeLoop:
             elif line.startswith("?"):
                 # Goal-directed: the query form is compiled (adornment
                 # + Magic Sets / counting / factoring) and evaluated
-                # against the EDB only — read-only, never journaled.
-                _print_answers(self.session.query_goal(line[1:].strip()))
+                # against the pinned EDB view — read-only, never
+                # journaled.
+                _print_answers(self.server.query_goal(line[1:].strip()))
             elif line.startswith("explain "):
                 if not self.provenance:
                     raise ValueError("explain needs --provenance")
@@ -348,36 +349,8 @@ class ServeLoop:
         return "ok"
 
     def _update(self, inserts=None, deletes=None):
-        """One atomic, journaled update batch.
-
-        Input is normalized (parsed and arity-checked) *before* the
-        journal append, so malformed requests never enter the log; the
-        append happens *before* the apply (write-ahead order), so a
-        crash mid-apply replays the batch on recovery.
-        """
-        session = self.session
-        ins = session._normalize(inserts) if inserts is not None else {}
-        dels = session._normalize(deletes) if deletes is not None else {}
-        ins_pairs = [(sig[0], row) for sig, rows in ins.items() for row in rows]
-        del_pairs = [(sig[0], row) for sig, rows in dels.items() for row in rows]
-        if self.journal is not None:
-            self.journal.append_batch(ins_pairs, del_pairs)
-        try:
-            stats = session.apply_batch(
-                inserts=ins_pairs or None, deletes=del_pairs or None
-            )
-        except Exception:
-            if self.journal is not None:
-                # The batch rolled back; compensate its journal record
-                # so recovery does not replay it.
-                self.journal.append_abort()
-            raise
-        if self.journal is not None and self.checkpoint_every:
-            self._since_checkpoint += 1
-            if self._since_checkpoint >= self.checkpoint_every:
-                self.journal.append_checkpoint(session.edb)
-                self._since_checkpoint = 0
-        return stats
+        """One atomic, journaled update batch (see DatalogServer)."""
+        return self.server.apply_batch(inserts=inserts, deletes=deletes)
 
 
 def _serve_session(args, program, edb):
@@ -409,12 +382,57 @@ def _serve_session(args, program, edb):
     return session, journal
 
 
+def _serve_socket(args, session, journal) -> int:
+    """The concurrent socket front (serve --workers N)."""
+    from repro.engine.server import DatalogServer, SocketFront
+
+    server = DatalogServer(
+        session, journal=journal, checkpoint_every=args.checkpoint_every
+    )
+    front = SocketFront(
+        server,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        provenance=args.provenance,
+    )
+    host, port = front.start()
+    print(
+        f"materialized {session.database.total_facts()} facts in "
+        f"{session.stats.seconds * 1000:.1f} ms; serving",
+        file=sys.stderr,
+    )
+    # The machine-readable contract clients parse for ephemeral ports.
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        front.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        front.shutdown()
+        server.close()
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.engine import faults
 
     program = _load_program(args.program)
     edb = _load_edb(args.facts)
     faults.active_plan()  # malformed $REPRO_FAULTS fails here, loudly
+    if args.workers is not None:
+        if args.workers < 1:
+            raise ValueError(
+                f"invalid workers={args.workers!r}; expected a "
+                f"positive integer"
+            )
+        if args.script:
+            raise ValueError(
+                "--script and --workers are mutually exclusive: socket "
+                "mode takes commands from client connections"
+            )
+        session, journal = _serve_session(args, program, edb)
+        return _serve_socket(args, session, journal)
     session, journal = _serve_session(args, program, edb)
     loop = ServeLoop(
         session,
@@ -627,6 +645,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-component wall-clock budget: a runaway fixpoint "
         "raises (and an update rolls back) instead of hanging "
         "(default: $REPRO_TIMEOUT or unlimited)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a line-oriented TCP protocol with up to N "
+        "concurrent connections (snapshot-isolated readers, one "
+        "writer) instead of the stdin REPL; see docs/serve.md",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="socket mode: address to bind (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="socket mode: port to bind; 0 picks a free port, printed "
+        "as 'listening on HOST:PORT' on stdout (default: 0)",
     )
     _add_engine_options(p)
     p.set_defaults(func=cmd_serve)

@@ -10,6 +10,7 @@ time and not just as counters.
 from __future__ import annotations
 
 from array import array
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -22,6 +23,10 @@ FactTuple = Tuple[Term, ...]
 Signature = Tuple[str, int]
 #: A fact as interned column values (one id per attribute).
 RowTuple = Tuple[int, ...]
+
+#: Lock stand-in for relations without a dictionary: those never have
+#: columnar structures, so there is no cross-thread drain to exclude.
+_NO_LOCK = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -235,6 +240,20 @@ class Relation:
     # Columnar image (interned ids; see repro.engine.columnar)
     # ------------------------------------------------------------------
 
+    def _sync_lock(self):
+        """The lock excluding concurrent columnar drains, if any.
+
+        Every mutation of the lazily-built columnar structures (the
+        pending-row drain, watermark extension of columns, row set and
+        int indexes, the tuple-side ``_flush``) runs under the shared
+        dictionary's re-entrant lock.  Copy-like operations hold it too
+        so they observe the structures at one pinned watermark instead
+        of mid-drain.  Without a dictionary there are no columnar
+        structures and nothing to exclude.
+        """
+        dictionary = self.dictionary
+        return _NO_LOCK if dictionary is None else dictionary._lock
+
     def ensure_columns(self) -> Optional[List[array]]:
         """The per-attribute id columns, interned up to the current log.
 
@@ -304,9 +323,15 @@ class Relation:
             self._colset = rows
             self._colset_n = n
         elif self._colset_n < n:
-            start = self._colset_n
-            rows.update(zip(*(col[start:] for col in cols)))
-            self._colset_n = n
+            # Extension mutates the published set in place; under the
+            # sync lock (with a watermark re-check) so racing readers of
+            # a shared relation never interleave their updates with a
+            # third reader iterating the set.
+            with self._sync_lock():
+                if self._colset_n < n:
+                    start = self._colset_n
+                    rows.update(zip(*(col[start:] for col in cols)))
+                    self._colset_n = n
         return rows
 
     def col_index(self, positions: Tuple[int, ...]) -> Optional[Dict]:
@@ -320,8 +345,9 @@ class Relation:
         full-relation probes in a fixpoint stay O(delta) per round.
         A first build is published atomically (racing readers of a
         shared relation each build a private table and one wins);
-        extension mutates in place, which is safe because only a
-        relation's single writer ever observes it mid-growth.
+        watermark extension mutates the published table in place, under
+        the sync lock with a re-check so two racing readers of a shared
+        relation cannot both append the same row positions.
         """
         cols = self.ensure_columns()
         if cols is None:
@@ -332,9 +358,21 @@ class Relation:
             return entry[0]
         if entry is None:
             index: Dict = {}
-            m = 0
-        else:
-            index, m = entry
+            self._fill_col_index(index, cols, positions, 0, n)
+            self._col_indexes[positions] = (index, n)
+            return index
+        with self._sync_lock():
+            index, m = self._col_indexes[positions]
+            if m < n:
+                self._fill_col_index(index, cols, positions, m, n)
+                self._col_indexes[positions] = (index, n)
+        return index
+
+    @staticmethod
+    def _fill_col_index(
+        index: Dict, cols: List[array], positions: Tuple[int, ...], m: int, n: int
+    ) -> None:
+        """Append row positions ``m:n`` of ``cols`` into an int index."""
         if len(positions) == 1:
             col = cols[positions[0]]
             for i in range(m, n):
@@ -352,8 +390,6 @@ class Relation:
                     index[key] = [i]
                 else:
                     bucket.append(i)
-        self._col_indexes[positions] = (index, n)
-        return index
 
     def add_row(self, fact: FactTuple, row: RowTuple) -> None:
         """Append a fact known to be novel, with its interned row.
@@ -482,17 +518,25 @@ class Relation:
         so a cost planner on the far side plans from the same
         cardinality estimates without paying to rebuild (or transfer)
         any bucket table.
+
+        The copy runs under the sync lock, which pins the row watermark
+        for its duration: a concurrent reader may be draining the
+        pending-row buffer or extending the columns in place
+        (:meth:`ensure_columns`), and an unlocked copy could capture a
+        partially-buffered slab — some columns already extended, others
+        not, or a log inconsistent with ``_pending_n``.
         """
-        if self._pending_rows:
-            self.ensure_columns()
-        dup = Relation(self.name, self.arity, self.dictionary)
-        dup._logrows = list(self._logrows)
-        dup._tuples = set(self._logrows)
-        dup._pending_n = self._pending_n
-        dup._carried_distinct = self._distinct_snapshot()
-        cols = self._cols
-        if cols is not None:
-            dup._cols = [col[:] for col in cols]
+        with self._sync_lock():
+            if self._pending_rows:
+                self.ensure_columns()
+            dup = Relation(self.name, self.arity, self.dictionary)
+            dup._logrows = list(self._logrows)
+            dup._tuples = set(self._logrows)
+            dup._pending_n = self._pending_n
+            dup._carried_distinct = self._distinct_snapshot()
+            cols = self._cols
+            if cols is not None:
+                dup._cols = [col[:] for col in cols]
         return dup
 
     def _distinct_snapshot(self) -> Dict[Tuple[int, ...], int]:
@@ -526,32 +570,35 @@ class Relation:
         # instead of the tuple log — the pickle memo serializes the
         # shared dictionary once per payload, and decoding shares one
         # term object per distinct value instead of one per occurrence.
-        if self._pending_rows:
-            self.ensure_columns()
-        cols = self._cols
-        if (
-            cols is not None
-            and self.dictionary is not None
-            and len(cols[0]) == len(self._logrows) + self._pending_n
-        ):
+        # Like snapshot(), the sync lock pins the watermark so a
+        # concurrent columnar drain cannot tear the captured state.
+        with self._sync_lock():
+            if self._pending_rows:
+                self.ensure_columns()
+            cols = self._cols
+            if (
+                cols is not None
+                and self.dictionary is not None
+                and len(cols[0]) == len(self._logrows) + self._pending_n
+            ):
+                return (
+                    self.name,
+                    self.arity,
+                    None,
+                    self._distinct_snapshot(),
+                    self.dictionary,
+                    [col[:] for col in cols],
+                )
+            # No complete columnar image.  Pending rows only ever exist
+            # columnar-side, so here the log is the complete story.
             return (
                 self.name,
                 self.arity,
-                None,
+                tuple(self._logrows),
                 self._distinct_snapshot(),
                 self.dictionary,
-                cols,
+                None,
             )
-        # No complete columnar image.  Pending rows only ever exist
-        # columnar-side, so here the log is the complete story.
-        return (
-            self.name,
-            self.arity,
-            tuple(self._logrows),
-            self._distinct_snapshot(),
-            self.dictionary,
-            None,
-        )
 
     def __setstate__(self, state) -> None:
         name, arity, log, distinct, dictionary, cols = state
@@ -654,31 +701,38 @@ class Relation:
         dropped indexes are retained as carried estimates, so
         :meth:`Database.copy`-based pipelines plan from warm statistics
         instead of cold defaults.
+
+        Like :meth:`snapshot`, the copy runs under the sync lock so a
+        concurrent reader's columnar drain or tuple-side ``_flush``
+        cannot tear the captured state — the copy-on-write detach of a
+        maintenance batch copies exactly the relations that published
+        read views still reference.
         """
-        if self._pending_rows:
-            self.ensure_columns()
-        dup = Relation(self.name, self.arity, self.dictionary)
-        dup._tuples = set(self._tuples)
-        dup._logrows = list(self._logrows)
-        dup._pending_n = self._pending_n
-        dup._carried_distinct = dict(self._carried_distinct)
-        cols = self._cols
-        if cols is not None:
-            dup._cols = [col[:] for col in cols]
-        for positions, entry in list(self._col_indexes.items()):
-            # Int indexes are rebuilt lazily on the copy; their
-            # distinct-key counts survive as statistics (same counts a
-            # tuple index on the same positions would report).
-            dup._carried_distinct[positions] = len(entry[0])
-        for positions, hits in list(self._index_hits.items()):
-            index = self._indexes.get(positions)
-            if index is None:
-                continue  # counter published ahead of a mid-build index
-            if hits > 0:
-                dup._indexes[positions] = {k: list(v) for k, v in index.items()}
-                dup._index_hits[positions] = hits
-            else:
-                dup._carried_distinct[positions] = len(index)
+        with self._sync_lock():
+            if self._pending_rows:
+                self.ensure_columns()
+            dup = Relation(self.name, self.arity, self.dictionary)
+            dup._tuples = set(self._tuples)
+            dup._logrows = list(self._logrows)
+            dup._pending_n = self._pending_n
+            dup._carried_distinct = dict(self._carried_distinct)
+            cols = self._cols
+            if cols is not None:
+                dup._cols = [col[:] for col in cols]
+            for positions, entry in list(self._col_indexes.items()):
+                # Int indexes are rebuilt lazily on the copy; their
+                # distinct-key counts survive as statistics (same counts a
+                # tuple index on the same positions would report).
+                dup._carried_distinct[positions] = len(entry[0])
+            for positions, hits in list(self._index_hits.items()):
+                index = self._indexes.get(positions)
+                if index is None:
+                    continue  # counter published ahead of a mid-build index
+                if hits > 0:
+                    dup._indexes[positions] = {k: list(v) for k, v in index.items()}
+                    dup._index_hits[positions] = hits
+                else:
+                    dup._carried_distinct[positions] = len(index)
         return dup
 
 
@@ -1008,6 +1062,25 @@ class Database:
         for sig, rel in self.relations.items():
             dup.relations[sig] = rel.copy()
         return dup
+
+    def pin(self) -> "Database":
+        """A frozen read view sharing every relation by reference.
+
+        The MVCC publication step of the concurrent serving layer
+        (:mod:`repro.engine.server`): maintenance batches *detach* the
+        relations in their dirty closure (copy-on-write, see
+        ``IncrementalSession._begin_undo``) instead of mutating them in
+        place, so the relation objects a pin captures are never written
+        again — pinning is one dict copy of pointers plus the shared
+        term dictionary, not a copy of any facts or columns.  Readers
+        holding a pinned database see exactly the committed state it
+        was taken from; lazily built structures (indexes, column
+        drains, tuple flushes) may still materialize under the pin, but
+        only with content the pinned watermark already fixed.
+        """
+        out = Database(self.dictionary)
+        out.relations = dict(self.relations)
+        return out
 
     def stage(self, signatures: Iterable[Signature]) -> "Database":
         """A write-isolated view for one evaluation component.

@@ -410,10 +410,13 @@ class IncrementalSession:
 
         The batch is all-or-nothing.  Before any mutation, the batch's
         *dirty closure* — the updated EDB signatures plus every
-        component transitively reachable from them — is snapshotted
-        (compact :meth:`Relation.snapshot` copies, so the cost scales
-        with the affected cone, not the database), along with the
-        provenance store in provenance mode.  Any failure during
+        component transitively reachable from them — is *detached*:
+        each relation in it is swapped for a copy-on-write
+        :meth:`Relation.copy` and the batch mutates only the copies
+        (the cost scales with the affected cone, not the database; the
+        frozen originals are what concurrently pinned read views keep
+        seeing), along with the provenance store in provenance mode.
+        Any failure during
         maintenance — :class:`NonTerminationError`, a
         :class:`ComponentTimeout` from the wall-clock watchdog, a
         process-backend worker loss, an injected fault — rolls the
@@ -530,10 +533,25 @@ class IncrementalSession:
         return dirty
 
     def _begin_undo(self, changed: Set[Signature]):
-        """Snapshot everything a batch over ``changed`` could touch."""
+        """Detach everything a batch over ``changed`` could touch.
+
+        Copy-on-write: every relation in the dirty closure is replaced
+        by an independent :meth:`Relation.copy` and the batch mutates
+        only the copies, so the *original* objects stay frozen forever.
+        That buys two things at the same cost the old compact undo
+        snapshots paid:
+
+        - rollback is a pointer swap back to the untouched originals
+          (which keep their hot indexes — the old restore path lost
+          them), and
+        - a read view pinned before the batch (``Database.pin()`` in
+          the concurrent server) never observes mid-batch or
+          rolled-back state, because the relations it references are
+          exactly the frozen originals.
+        """
         dirty = self._dirty_closure(changed)
-        db_saved = self._snapshot_present(self.database, dirty)
-        edb_saved = self._snapshot_present(self._edb, changed)
+        db_saved = self._detach(self.database, dirty)
+        edb_saved = self._detach(self._edb, changed)
         prov = None
         if self._derivations is not None:
             prov = (
@@ -541,34 +559,38 @@ class IncrementalSession:
                 {sig: set(keys) for sig, keys in self._deriv_by_sig.items()},
                 {key: set(deps) for key, deps in self._rdeps.items()},
             )
-        return (db_saved, dirty, edb_saved, set(changed), prov)
+        return (db_saved, edb_saved, prov)
 
     @staticmethod
-    def _snapshot_present(db: Database, sigs: Set[Signature]) -> Database:
-        """Compact copies of the named relations that actually exist.
+    def _detach(db: Database, sigs: Set[Signature]):
+        """Swap the named relations for copies; return the originals.
 
-        Unlike :meth:`Database.snapshot` this records *absence*: a
-        signature missing here was missing pre-batch, so
-        :meth:`Database.restore` drops it instead of installing an
-        empty relation.
+        A ``None`` value records *absence*: the signature did not exist
+        pre-batch, so rollback drops whatever the batch created there.
         """
-        out = Database()
+        saved = {}
         for sig in sigs:
             rel = db.relations.get(sig)
+            saved[sig] = rel
             if rel is not None:
-                out.relations[sig] = rel.snapshot()
-        return out
+                db.relations[sig] = rel.copy()
+        return saved
 
     def _rollback(self, undo) -> None:
         """Restore the pre-batch state captured by :meth:`_begin_undo`.
 
-        Relations are restored by in-place pointer swap on the *same*
+        The detached originals are swapped back in place on the *same*
         database objects, so live wrappers (``EdbKeyView``, external
-        references to ``session.database``) keep working.
+        references to ``session.database``) keep working; the batch's
+        mutated copies are simply dropped.
         """
-        db_saved, dirty, edb_saved, changed, prov = undo
-        self.database.restore(db_saved, dirty)
-        self._edb.restore(edb_saved, changed)
+        db_saved, edb_saved, prov = undo
+        for db, saved in ((self.database, db_saved), (self._edb, edb_saved)):
+            for sig, rel in saved.items():
+                if rel is not None:
+                    db.relations[sig] = rel
+                else:
+                    db.relations.pop(sig, None)
         if prov is not None:
             self._derivations, self._deriv_by_sig, self._rdeps = prov
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -108,11 +109,18 @@ class Journal:
     the fault harness can tear or kill a write at a deterministic
     point.  ``fsync=False`` trades durability for speed (used by the
     journal-overhead benchmark to separate buffering from disk cost).
+
+    Appends are serialized by an internal lock: the concurrent serving
+    layer funnels every write through one writer lock anyway, but the
+    journal must not rely on its callers for record integrity — two
+    racing appends interleaving their bytes would corrupt the log
+    past any torn-tail repair.
     """
 
     def __init__(self, path, fsync: bool = True):
         self.path = str(path)
         self.fsync = fsync
+        self._append_lock = threading.Lock()
         fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
         if not fresh:
             with open(self.path, "rb") as fh:
@@ -138,17 +146,18 @@ class Journal:
             + _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
             + payload
         )
-        cut = faults.fire("journal", torn_length=len(record))
-        if cut is not None:
-            # A torn write: persist only a prefix, then fail exactly as
-            # a crash mid-write would have.
-            self._fh.write(record[:cut])
+        with self._append_lock:
+            cut = faults.fire("journal", torn_length=len(record))
+            if cut is not None:
+                # A torn write: persist only a prefix, then fail exactly
+                # as a crash mid-write would have.
+                self._fh.write(record[:cut])
+                self._sync()
+                raise FaultInjected(
+                    f"injected torn journal write ({cut}/{len(record)} bytes)"
+                )
+            self._fh.write(record)
             self._sync()
-            raise FaultInjected(
-                f"injected torn journal write ({cut}/{len(record)} bytes)"
-            )
-        self._fh.write(record)
-        self._sync()
 
     def append_batch(self, inserts: list, deletes: list) -> None:
         """Journal one batch (must precede applying it — WAL order)."""

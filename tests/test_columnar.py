@@ -288,3 +288,78 @@ def test_incremental_columnar_batch_churn_matches_scratch():
     ref, _ = seminaive_eval(TC, session.edb, exec="tuple")
     assert session.database == ref
     assert session.query("t(1, Y)") == {(y,) for y in range(2, 8)}
+
+
+# ---------------------------------------------------------------------------
+# Concurrent snapshot vs. drain (the serving layer's read-side race)
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_racing_column_drain_pins_the_watermark():
+    """A snapshot/copy/pickle taken while another thread drains the
+    pending-row buffer must never capture a partially-buffered slab.
+
+    The serving layer publishes relations by reference and readers
+    lazily columnize them, so two readers can race: one triggers the
+    ``ensure_columns`` drain while another snapshots the same relation.
+    Both run under the dictionary sync lock, which pins the row
+    watermark — a torn capture would surface here as a snapshot whose
+    columns have unequal lengths (rows lost or garbled by the zip).
+    """
+    import pickle as _pickle
+    import threading
+
+    n = 400
+    for trial in range(12):
+        d = TermDictionary()
+        rel = Relation("r", 2, d)
+        expected = set()
+        for start in range(0, n, 50):  # several buffered slabs
+            rows = []
+            for i in range(start, start + 50):
+                rows.append((d.intern(Constant(i)), d.intern(Constant(i + 1))))
+                expected.add((Constant(i), Constant(i + 1)))
+            rel.append_rows(rows)
+        assert rel._pending_rows
+
+        captured = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def drain():
+            try:
+                barrier.wait()
+                rel.ensure_columns()
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        def capture():
+            try:
+                barrier.wait()
+                mode = trial % 3
+                if mode == 0:
+                    captured["clone"] = rel.snapshot()
+                elif mode == 1:
+                    captured["clone"] = rel.copy()
+                else:
+                    captured["clone"] = _pickle.loads(_pickle.dumps(rel))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drain),
+            threading.Thread(target=capture),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "drain/snapshot deadlocked"
+        assert not errors, errors
+
+        clone = captured["clone"]
+        assert len(clone) == n, f"trial {trial}: torn row count"
+        assert clone.tuples == expected, f"trial {trial}: garbled capture"
+        cols = rel.ensure_columns()
+        assert all(len(col) == n for col in cols)
+        assert rel.tuples == expected

@@ -743,3 +743,113 @@ def test_injected_faults_never_leave_intermediate_state(
             assert session._derivations == prov_ref.derivations
     finally:
         faults.clear()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    program_seed=st.integers(0, 10_000),
+    edb_seed=st.integers(0, 2_000),
+    script_seed=st.integers(0, 10_000),
+    n=st.integers(3, 8),
+)
+def test_served_churn_matches_bare_session(
+    program_seed, edb_seed, script_seed, n
+):
+    """Concurrent-churn differential for the serving layer.
+
+    The same randomized insert/delete script runs through a
+    :class:`~repro.engine.server.DatalogServer` front — with reader
+    threads hammering pinned views the whole time — and through a bare
+    :class:`IncrementalSession`, across serial/thread backends ×
+    columnar/tuple execution.  The served sessions must end
+    bit-identical to the bare ones (the reader traffic is pure
+    observation), and every published view must equal the final
+    from-scratch oracle once the script drains.
+    """
+    import random
+    import threading
+
+    from repro.engine.incremental import IncrementalSession
+    from repro.engine.server import DatalogServer
+
+    program = random_program(program_seed)
+    edb = random_edb(edb_seed, n=n)
+    configs = [
+        dict(),
+        dict(exec="tuple"),
+        dict(jobs=2, backend="thread"),
+        dict(jobs=2, backend="thread", exec="tuple"),
+    ]
+    servers = [
+        DatalogServer(IncrementalSession(program, edb, **cfg))
+        for cfg in configs
+    ]
+    bare = [IncrementalSession(program, edb, **cfg) for cfg in configs]
+
+    done = threading.Event()
+    errors = []
+
+    def reader():
+        try:
+            while not done.is_set():
+                for server in servers:
+                    server.view().query("p(X, Y)")
+        except Exception as exc:  # pragma: no cover - fails the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, daemon=True) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        rng = random.Random(script_seed)
+        for _ in range(10):
+            if rng.random() < 0.55:
+                if rng.random() < 0.8:
+                    update = (
+                        f"e{rng.randrange(3)}",
+                        (rng.randrange(n), rng.randrange(n)),
+                    )
+                else:
+                    update = (f"r{rng.randrange(3)}", (rng.randrange(n),))
+                edb.add_fact(*update)
+                for server in servers:
+                    server.insert([update])
+                for session in bare:
+                    session.insert([update])
+            else:
+                stored = sorted(
+                    (sig[0], tuple(t.value for t in fact))
+                    for sig, rel in edb.relations.items()
+                    for fact in rel.tuples
+                )
+                if not stored:
+                    continue
+                update = stored[rng.randrange(len(stored))]
+                edb.remove_fact(*update)
+                for server in servers:
+                    server.delete([update])
+                for session in bare:
+                    session.delete([update])
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not errors, errors
+    for thread in threads:
+        assert not thread.is_alive(), "reader thread hung"
+
+    ref, _ = seminaive_eval(program, edb)
+    labels = ("serial+col", "serial+tuple", "thread+col", "thread+tuple")
+    for label, server, session in zip(labels, servers, bare):
+        assert server.session.database == session.database, (
+            f"served {label} diverged from bare on seeds "
+            f"{program_seed}/{edb_seed}/{script_seed}"
+        )
+        assert server.session.database == ref, (
+            f"served {label} diverged from scratch on seeds "
+            f"{program_seed}/{edb_seed}/{script_seed}"
+        )
+        assert server.view().database == ref, (
+            f"published view {label} diverged on seeds "
+            f"{program_seed}/{edb_seed}/{script_seed}"
+        )

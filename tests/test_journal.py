@@ -351,3 +351,136 @@ class TestRecoveryMatrix:
         journal.close()
         clean = clean_session(SCRIPT[:replayed], **knobs)
         assert_same_state(recovered, clean)
+
+
+class TestConcurrentCrashDrill:
+    """SIGKILL a socket-mode serve while reader connections are
+    mid-query; recovery must still be byte-identical to a run that
+    never crashed (the CI crash-recovery smoke, concurrent edition)."""
+
+    def test_sigkill_under_reader_load_recovers_bit_identical(
+        self, tmp_path, capsys
+    ):
+        import os
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import threading
+
+        import repro
+        from repro.cli import main as cli_main
+
+        program_file = str(tmp_path / "tc.dl")
+        facts_file = str(tmp_path / "facts.dl")
+        with open(program_file, "w") as fh:
+            fh.write(TC_TEXT)
+        with open(facts_file, "w") as fh:
+            fh.write("e(1, 2).\ne(2, 3).\n")
+        journal = str(tmp_path / "crash.rjn")
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro", "serve",
+                program_file, "--facts", facts_file, "--journal", journal,
+                "--workers", "3", "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        readers = []
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("listening on "), banner
+            host, _, port = banner[len("listening on "):].rpartition(":")
+            address = (host, int(port))
+
+            def exchange(sock_file, sock, line):
+                """One command in, payload + status out."""
+                sock.sendall((line + "\n").encode("utf-8"))
+                while True:
+                    reply = sock_file.readline()
+                    if not reply:
+                        return None  # server died (the kill)
+                    if not reply.startswith("= "):
+                        return reply.strip()
+
+            stop = threading.Event()
+            served_one = [threading.Event() for _ in range(2)]
+
+            def reader(slot):
+                try:
+                    with socket.create_connection(
+                        address, timeout=10
+                    ) as sock, sock.makefile("r", encoding="utf-8") as rfile:
+                        while not stop.is_set():
+                            status = exchange(rfile, sock, "? t(X, Y)")
+                            if status is None:
+                                return
+                            assert status.endswith("answers"), status
+                            served_one[slot].set()
+                except OSError:
+                    pass  # connection torn by the SIGKILL — expected
+
+            readers = [
+                threading.Thread(target=reader, args=(slot,), daemon=True)
+                for slot in range(2)
+            ]
+            for thread in readers:
+                thread.start()
+
+            updates = ["+ e(3, 4).", "+ e(4, 5).", "- e(1, 2)."]
+            with socket.create_connection(
+                address, timeout=10
+            ) as sock, sock.makefile("r", encoding="utf-8") as rfile:
+                for line in updates:
+                    status = exchange(rfile, sock, line)
+                    assert status is not None and status.startswith("ok"), (
+                        f"batch not acknowledged: {status!r}"
+                    )
+                # Only kill once both readers are actively querying, so
+                # the SIGKILL provably lands under concurrent reads.
+                for event in served_one:
+                    assert event.wait(timeout=30), "reader never got an answer"
+                os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+            stop = locals().get("stop")
+            if stop is not None:
+                stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "reader thread hung"
+
+        # The same updates through a clean scripted run, never killed.
+        clean = str(tmp_path / "clean.rjn")
+        script = tmp_path / "clean.txt"
+        script.write_text("+ e(3, 4).\n+ e(4, 5).\n- e(1, 2).\nquit\n")
+        assert cli_main(
+            [
+                "serve", program_file, "--facts", facts_file,
+                "--script", str(script), "--journal", clean,
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        assert cli_main(
+            ["recover", program_file, journal, "--facts", facts_file]
+        ) == 0
+        crashed_dump = capsys.readouterr().out
+        assert cli_main(
+            ["recover", program_file, clean, "--facts", facts_file]
+        ) == 0
+        clean_dump = capsys.readouterr().out
+        assert crashed_dump == clean_dump
+        assert "t(2, 5)." in crashed_dump
+        assert "t(1, 2)." not in crashed_dump  # the delete survived
